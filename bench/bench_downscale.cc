@@ -1,0 +1,87 @@
+// §6.1 "Downscaling": K-scalability of scale-down (100..800 functions,
+// one pod each, scaled to zero). The paper reports Kd 6.9-30.3x faster
+// than K8s and Kd+ 16.8-45.2x faster than K8s+ — the message/API-call
+// count mirrors upscaling (K8s issues one Delete per pod; Kd replicates
+// one tombstone per pod).
+#include "harness.h"
+
+namespace kd::bench {
+namespace {
+
+using cluster::ClusterConfig;
+
+constexpr int kNodes = 80;
+const int kFunctionCounts[] = {100, 200, 400, 800};
+
+struct Row {
+  std::string variant;
+  int functions;
+  Duration latency;
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+ClusterConfig Variant(const std::string& name) {
+  if (name == "K8s") return ClusterConfig::K8s(kNodes);
+  if (name == "Kd") return ClusterConfig::Kd(kNodes);
+  if (name == "K8s+") return ClusterConfig::K8sPlus(kNodes);
+  return ClusterConfig::KdPlus(kNodes);
+}
+
+void BM_Downscale(benchmark::State& state, const std::string& variant) {
+  const int functions = static_cast<int>(state.range(0));
+  Duration latency = 0;
+  for (auto _ : state) {
+    latency = RunDownscale(Variant(variant), functions, /*pods_from=*/1,
+                           /*pods_to=*/0);
+  }
+  state.counters["down_ms"] = ToMillis(latency);
+  Rows().push_back(Row{variant, functions, latency});
+}
+
+BENCHMARK_CAPTURE(BM_Downscale, K8s, std::string("K8s"))
+    ->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_Downscale, Kd, std::string("Kd"))
+    ->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_Downscale, K8sPlus, std::string("K8s+"))
+    ->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_Downscale, KdPlus, std::string("Kd+"))
+    ->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void PrintTable() {
+  auto find = [&](const std::string& variant, int functions) -> Duration {
+    for (const Row& row : Rows()) {
+      if (row.variant == variant && row.functions == functions) {
+        return row.latency;
+      }
+    }
+    return -1;
+  };
+  PrintHeader(
+      "Downscaling (§6.1): K functions x 1 pod scaled to zero, M=80 "
+      "(paper: Kd 6.9-30.3x, Kd+ 16.8-45.2x)",
+      {"functions", "K8s", "Kd", "K8s+", "Kd+", "Kd/K8s", "Kd+/K8s+"});
+  for (int functions : kFunctionCounts) {
+    const Duration k8s = find("K8s", functions), kd = find("Kd", functions),
+                   k8sp = find("K8s+", functions),
+                   kdp = find("Kd+", functions);
+    PrintRow({StrFormat("%d", functions), Secs(k8s), Secs(kd), Secs(k8sp),
+              Secs(kdp), Ratio(k8s, kd), Ratio(k8sp, kdp)});
+  }
+}
+
+}  // namespace
+}  // namespace kd::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  kd::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 12: end-to-end FaaS workload on the Knative variants —
+// Kn/K8s vs Kn/Kd on the 30-minute Azure-like trace (§6.2). Also
+// reports the §6.2 cold-start-count reduction (the paper observes 67%
+// fewer cold starts with Kd because faster upscaling stops the
+// autoscaler from panic-scaling).
+#include "e2e_common.h"
+
+namespace kd::bench {
+namespace {
+
+trace::TraceConfig TraceSetup() {
+  trace::TraceConfig config;
+  config.num_functions = 500;
+  config.length = Minutes(30);
+  config.target_invocations = 168'000;
+  // Correlated cold bursts big enough to exceed the control plane's
+  // rate budget (the long-tail mechanism the paper identifies).
+  config.burst_function_fraction = 0.12;
+  config.burst_invocations_per_function = 2;
+  return config;
+}
+
+std::vector<std::pair<std::string, E2eResult>>& Results() {
+  static std::vector<std::pair<std::string, E2eResult>> results;
+  return results;
+}
+
+void BM_E2e(benchmark::State& state, const std::string& variant) {
+  E2eConfig config;
+  config.variant = variant;
+  config.trace = TraceSetup();
+  E2eResult result;
+  for (auto _ : state) {
+    result = RunE2eWorkload(config);
+  }
+  state.counters["slowdown_p50"] = result.report.slowdown.Median();
+  state.counters["slowdown_p99"] = result.report.slowdown.P99();
+  state.counters["sched_ms_p50"] =
+      result.report.scheduling_latency_ms.Median();
+  state.counters["sched_ms_p99"] = result.report.scheduling_latency_ms.P99();
+  state.counters["instances"] = static_cast<double>(result.pods_created);
+  Results().emplace_back(variant, result);
+}
+
+BENCHMARK_CAPTURE(BM_E2e, KnK8s, std::string("Kn/K8s"))
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_E2e, KnKd, std::string("Kn/Kd"))
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void PrintFigure12() {
+  PrintE2eRows("Figure 12: Knative variants, 30-min Azure-like trace",
+               Results());
+  const E2eResult* k8s = nullptr;
+  const E2eResult* kd = nullptr;
+  for (const auto& [name, r] : Results()) {
+    if (name == "Kn/K8s") k8s = &r;
+    if (name == "Kn/Kd") kd = &r;
+  }
+  if (k8s != nullptr && kd != nullptr) {
+    std::printf(
+        "\nHeadlines (paper: slowdown p50 3.5x / p99 19.4x; scheduling "
+        "latency p50 26.7x / p99 10.3x; 67%% fewer cold starts):\n");
+    std::printf("  slowdown improvement        p50 %.1fx  p99 %.1fx\n",
+                k8s->report.slowdown.Median() / kd->report.slowdown.Median(),
+                k8s->report.slowdown.P99() / kd->report.slowdown.P99());
+    std::printf("  sched-latency improvement   p50 %.1fx  p99 %.1fx\n",
+                k8s->report.scheduling_latency_ms.Median() /
+                    kd->report.scheduling_latency_ms.Median(),
+                k8s->report.scheduling_latency_ms.P99() /
+                    kd->report.scheduling_latency_ms.P99());
+    std::printf("  cold-start (instance) reduction: %.0f%%  (%lld -> %lld)\n",
+                100.0 * (1.0 - static_cast<double>(kd->pods_created) /
+                                   static_cast<double>(k8s->pods_created)),
+                static_cast<long long>(k8s->pods_created),
+                static_cast<long long>(kd->pods_created));
+  }
+}
+
+}  // namespace
+}  // namespace kd::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  kd::bench::PrintFigure12();
+  return 0;
+}

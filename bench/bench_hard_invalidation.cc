@@ -1,0 +1,151 @@
+// Figure 15: the overhead of hard invalidation — the handshake
+// protocol re-run after a forced crash-restart, with the caches
+// populated by the K-/N-/M-scalability setups (§6.3).
+//
+//   - ReplicaSet controller: N-scalability state (N pods, one
+//     ReplicaSet); recover-mode handshake refetches pods in batches —
+//     sub-linear in N.
+//   - Scheduler: M-scalability state (5 pods/node); handshakes with all
+//     Kubelets run in parallel — sub-linear in M.
+//   - Autoscaler / Deployment controller: level-triggered, no state to
+//     transfer; their handshake is a round trip.
+#include "harness.h"
+
+namespace kd::bench {
+namespace {
+
+using cluster::ClusterConfig;
+
+struct Row {
+  std::string which;
+  int scale;
+  Duration handshake;
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+// Populates a Kd cluster with `pods` pods across `nodes` nodes, then
+// crash-restarts `which` and measures until its links are ready again.
+Duration MeasureRecovery(const std::string& which, int nodes, int pods) {
+  sim::Engine engine;
+  ClusterConfig config = ClusterConfig::Kd(nodes);
+  config.realistic_pod_template = false;
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+  cluster.RegisterFunction("fn");
+  engine.RunFor(Milliseconds(200));
+  cluster.ScaleTo("fn", pods);
+  if (!cluster.RunUntil(
+          [&] {
+            return cluster.TotalReadyPods() == static_cast<std::size_t>(pods);
+          },
+          Minutes(30))) {
+    return -1;
+  }
+
+  const Time start = engine.now();
+  if (which == "replicaset") {
+    cluster.replicaset_controller().Crash();
+    cluster.replicaset_controller().Restart();
+    cluster.RunUntil(
+        [&] { return cluster.replicaset_controller().link_ready(); },
+        Minutes(5));
+  } else if (which == "scheduler") {
+    cluster.scheduler().Crash();
+    cluster.scheduler().Restart();
+    cluster.RunUntil(
+        [&] {
+          for (int i = 0; i < nodes; ++i) {
+            if (!cluster.scheduler().KubeletLinkReady(
+                    cluster::Cluster::NodeName(i))) {
+              return false;
+            }
+          }
+          return true;
+        },
+        Minutes(5));
+  } else if (which == "autoscaler") {
+    cluster.autoscaler().Crash();
+    cluster.autoscaler().Restart();
+    cluster.RunUntil([&] { return cluster.autoscaler().link_ready(); },
+                     Minutes(5));
+  } else {  // deployment
+    cluster.deployment_controller().Crash();
+    cluster.deployment_controller().Restart();
+    cluster.RunUntil(
+        [&] { return cluster.deployment_controller().link_ready(); },
+        Minutes(5));
+  }
+  return engine.now() - start;
+}
+
+void BM_RsHandshake(benchmark::State& state) {
+  const int pods = static_cast<int>(state.range(0));
+  Duration d = 0;
+  for (auto _ : state) d = MeasureRecovery("replicaset", 80, pods);
+  state.counters["handshake_ms"] = ToMillis(d);
+  Rows().push_back(Row{"replicaset", pods, d});
+}
+BENCHMARK(BM_RsHandshake)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_SchedulerHandshake(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  Duration d = 0;
+  for (auto _ : state) d = MeasureRecovery("scheduler", nodes, nodes * 5);
+  state.counters["handshake_ms"] = ToMillis(d);
+  Rows().push_back(Row{"scheduler", nodes, d});
+}
+BENCHMARK(BM_SchedulerHandshake)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_LevelTriggeredHandshake(benchmark::State& state, const char* which) {
+  Duration d = 0;
+  for (auto _ : state) d = MeasureRecovery(which, 20, 100);
+  state.counters["handshake_ms"] = ToMillis(d);
+  Rows().push_back(Row{which, 0, d});
+}
+BENCHMARK_CAPTURE(BM_LevelTriggeredHandshake, Autoscaler, "autoscaler")
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_LevelTriggeredHandshake, Deployment, "deployment")
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void PrintFigure15() {
+  PrintHeader(
+      "Figure 15: hard invalidation (crash-restart handshake) — "
+      "ReplicaSet controller, state = N pods (sub-linear: batched fetch)",
+      {"pods", "recovery"});
+  for (const Row& row : Rows()) {
+    if (row.which == "replicaset") {
+      PrintRow({StrFormat("%d", row.scale), Ms(row.handshake)});
+    }
+  }
+  PrintHeader(
+      "Figure 15: Scheduler, state = 5 pods/node (sub-linear: parallel "
+      "per-Kubelet handshakes)",
+      {"nodes", "recovery"});
+  for (const Row& row : Rows()) {
+    if (row.which == "scheduler") {
+      PrintRow({StrFormat("%d", row.scale), Ms(row.handshake)});
+    }
+  }
+  PrintHeader("Level-triggered controllers (no state transfer)",
+              {"controller", "recovery"});
+  for (const Row& row : Rows()) {
+    if (row.which == "autoscaler" || row.which == "deployment") {
+      PrintRow({row.which, Ms(row.handshake)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kd::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  kd::bench::PrintFigure15();
+  return 0;
+}

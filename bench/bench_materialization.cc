@@ -1,0 +1,75 @@
+// Figure 14: the dynamic-materialization ablation — KubeDirect with
+// pointer-compressed messages vs naive direct message passing that
+// ships full API objects (avoids API-server persistence but not
+// serialization/deserialization). Paper: the naive approach is 20-35%
+// slower on the K-scalability setup.
+#include "harness.h"
+
+namespace kd::bench {
+namespace {
+
+using cluster::ClusterConfig;
+
+constexpr int kNodes = 80;
+const int kFunctionCounts[] = {100, 200, 400, 800};
+
+struct Row {
+  bool naive;
+  int functions;
+  Duration e2e;
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+void BM_Materialization(benchmark::State& state, bool naive) {
+  const int functions = static_cast<int>(state.range(0));
+  ClusterConfig config = ClusterConfig::Kd(kNodes);
+  config.cost.kd_naive_full_objects = naive;
+  UpscaleResult result;
+  for (auto _ : state) {
+    result = RunUpscale(std::move(config), functions, functions);
+  }
+  state.counters["e2e_ms"] = ToMillis(result.e2e);
+  Rows().push_back(Row{naive, functions, result.e2e});
+}
+
+BENCHMARK_CAPTURE(BM_Materialization, Kd, false)
+    ->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_Materialization, NaiveFullObjects, true)
+    ->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void PrintFigure14() {
+  auto find = [&](bool naive, int functions) -> Duration {
+    for (const Row& row : Rows()) {
+      if (row.naive == naive && row.functions == functions) return row.e2e;
+    }
+    return -1;
+  };
+  PrintHeader(
+      "Figure 14: dynamic materialization vs naive full-object passing "
+      "(paper: naive is 20-35% slower)",
+      {"functions", "Kd", "naive", "overhead"});
+  for (int functions : kFunctionCounts) {
+    const Duration kd = find(false, functions);
+    const Duration naive = find(true, functions);
+    PrintRow({StrFormat("%d", functions), Secs(kd), Secs(naive),
+              StrFormat("+%.0f%%",
+                        100.0 * (static_cast<double>(naive) /
+                                     static_cast<double>(kd) -
+                                 1.0))});
+  }
+}
+
+}  // namespace
+}  // namespace kd::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  kd::bench::PrintFigure14();
+  return 0;
+}

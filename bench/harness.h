@@ -1,0 +1,148 @@
+// Shared harness for the figure/table benches.
+//
+// Every bench binary reproduces one figure of the paper's evaluation:
+// it runs the deterministic simulation, prints the paper-style series
+// (who is on the x-axis, which baselines, which breakdowns), and also
+// registers the runs with google-benchmark so the standard tooling
+// (--benchmark_format=json etc.) works. Reported times are *simulated*
+// latencies; see EXPERIMENTS.md for the calibration discussion.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/strings.h"
+
+namespace kd::bench {
+
+// One upscaling experiment: K functions x (N/K) pods each on M nodes,
+// one-shot strawman autoscaler calls (§6.1 methodology). Returns the
+// end-to-end latency and the per-controller stage spans.
+struct UpscaleResult {
+  Duration e2e = 0;
+  Duration autoscaler = 0;
+  Duration deployment = 0;
+  Duration replicaset = 0;
+  Duration scheduler = 0;
+  Duration sandbox = 0;  // kubelet span
+  bool converged = false;
+};
+
+inline UpscaleResult RunUpscale(cluster::ClusterConfig config, int functions,
+                                int total_pods,
+                                Duration deadline = Minutes(30)) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+  for (int f = 0; f < functions; ++f) {
+    cluster.RegisterFunction(StrFormat("fn-%04d", f));
+  }
+  engine.RunFor(Milliseconds(200));  // informers observe registrations
+  cluster.metrics().Clear();
+
+  const Time start = engine.now();
+  const int per_function = total_pods / functions;
+  for (int f = 0; f < functions; ++f) {
+    cluster.ScaleTo(StrFormat("fn-%04d", f), per_function);
+  }
+  UpscaleResult result;
+  // Coarser predicate polling for very large runs (the poll itself
+  // walks the API-server store).
+  const Duration tick = total_pods >= 5000 ? Milliseconds(100)
+                                           : Milliseconds(5);
+  result.converged = cluster.RunUntil(
+      [&] {
+        return cluster.TotalReadyPods() ==
+               static_cast<std::size_t>(per_function * functions);
+      },
+      deadline, tick);
+  result.e2e = engine.now() - start;
+  // Isolated per-stage time (what the stage would take with
+  // instantaneous upstream messages, Fig. 3 methodology): the max of
+  // the controller's API-client active time (rate limiter + in-flight
+  // requests) and its control-loop active time.
+  auto stage = [&](const char* loop, const char* client) {
+    return std::max(cluster.metrics().GetBusy(std::string(loop) + ".active"),
+                    cluster.metrics().GetBusy(std::string(client) +
+                                              ".active"));
+  };
+  result.autoscaler = stage("autoscaler", "autoscaler");
+  result.deployment = stage("deployment", "deployment-controller");
+  result.replicaset = stage("replicaset", "replicaset-controller");
+  result.scheduler = stage("scheduler", "scheduler");
+  // Sandbox manager: worst per-pod latency (bind -> published), which
+  // captures per-node queueing but not upstream lag.
+  result.sandbox =
+      MillisecondsF(cluster.metrics().GetSample("kubelet_pod_latency").Max());
+  return result;
+}
+
+// Downscale counterpart: scale K functions from `from` to `to` pods
+// each; latency until the API server view drains to the target.
+inline Duration RunDownscale(cluster::ClusterConfig config, int functions,
+                             int pods_from, int pods_to,
+                             Duration deadline = Minutes(30)) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+  for (int f = 0; f < functions; ++f) {
+    cluster.RegisterFunction(StrFormat("fn-%04d", f));
+  }
+  engine.RunFor(Milliseconds(200));
+  for (int f = 0; f < functions; ++f) {
+    cluster.ScaleTo(StrFormat("fn-%04d", f), pods_from);
+  }
+  const bool up = cluster.RunUntil(
+      [&] {
+        return cluster.TotalReadyPods() ==
+               static_cast<std::size_t>(pods_from * functions);
+      },
+      deadline);
+  if (!up) return -1;
+
+  const Time start = engine.now();
+  for (int f = 0; f < functions; ++f) {
+    cluster.ScaleTo(StrFormat("fn-%04d", f), pods_to);
+  }
+  const bool down = cluster.RunUntil(
+      [&] {
+        return cluster.TotalReadyPods() ==
+               static_cast<std::size_t>(pods_to * functions);
+      },
+      deadline);
+  return down ? engine.now() - start : -1;
+}
+
+// --- table printing -----------------------------------------------------
+
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& column : columns) std::printf("%14s", column.c_str());
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& cell : cells) std::printf("%14s", cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Ms(Duration d) {
+  if (d < 0) return "timeout";
+  return StrFormat("%.1fms", ToMillis(d));
+}
+inline std::string Secs(Duration d) {
+  if (d < 0) return "timeout";
+  return StrFormat("%.2fs", ToSeconds(d));
+}
+inline std::string Ratio(Duration slow, Duration fast) {
+  if (slow <= 0 || fast <= 0) return "-";
+  return StrFormat("%.1fx", static_cast<double>(slow) /
+                                static_cast<double>(fast));
+}
+
+}  // namespace kd::bench

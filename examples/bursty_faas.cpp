@@ -1,0 +1,90 @@
+// Bursty FaaS serving: the paper's motivating scenario. A Knative-like
+// platform serves an Azure-like workload with correlated cold bursts;
+// the same trace runs against stock Kubernetes and KubeDirect, showing
+// where the control plane becomes the cold-start bottleneck.
+//
+//   $ ./examples/bursty_faas
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "faas/backend.h"
+#include "faas/platform.h"
+#include "trace/azure.h"
+
+using namespace kd;
+
+namespace {
+
+struct RunResult {
+  double slowdown_p50, slowdown_p99;
+  double sched_p50, sched_p99;
+  std::int64_t instances;
+};
+
+RunResult Run(controllers::Mode mode, const trace::AzureTrace& workload) {
+  sim::Engine engine;
+  cluster::ClusterConfig config;
+  config.mode = mode;
+  config.num_nodes = 40;
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+
+  faas::ClusterBackend backend(cluster);
+  faas::Platform platform(engine, backend, faas::PolicyParams::Knative());
+  for (int f = 0; f < workload.num_functions(); ++f) {
+    faas::FunctionSpec spec;
+    spec.name = workload.FunctionName(f);
+    platform.RegisterFunction(spec);
+  }
+  platform.Start();
+  engine.RunFor(Milliseconds(500));
+
+  for (const trace::TraceEvent& event : workload.events()) {
+    engine.ScheduleAt(event.at + Milliseconds(500), [&, event] {
+      platform.Invoke(workload.FunctionName(event.function), event.duration);
+    });
+  }
+  engine.RunFor(workload.length() + Minutes(3));
+
+  faas::Report report = platform.BuildReport();
+  return RunResult{report.slowdown.Median(), report.slowdown.P99(),
+                   report.scheduling_latency_ms.Median(),
+                   report.scheduling_latency_ms.P99(),
+                   cluster.metrics().GetCount("pods_created")};
+}
+
+}  // namespace
+
+int main() {
+  trace::TraceConfig trace_config;
+  trace_config.num_functions = 150;
+  trace_config.length = Minutes(10);
+  trace_config.target_invocations = 20'000;
+  trace::AzureTrace workload = trace::AzureTrace::Generate(trace_config);
+  std::printf("trace: %d functions, %zu invocations over %s\n",
+              workload.num_functions(), workload.events().size(),
+              FormatDuration(workload.length()).c_str());
+
+  std::printf("\nserving on stock Kubernetes (Kn/K8s)...\n");
+  const RunResult k8s = Run(controllers::Mode::kK8s, workload);
+  std::printf("serving on KubeDirect (Kn/Kd)...\n");
+  const RunResult kd = Run(controllers::Mode::kKd, workload);
+
+  std::printf("\n%-28s %12s %12s\n", "per-function metric", "Kn/K8s",
+              "Kn/Kd");
+  std::printf("%-28s %12.2f %12.2f\n", "slowdown p50", k8s.slowdown_p50,
+              kd.slowdown_p50);
+  std::printf("%-28s %12.1f %12.1f\n", "slowdown p99", k8s.slowdown_p99,
+              kd.slowdown_p99);
+  std::printf("%-28s %10.1fms %10.1fms\n", "scheduling latency p50",
+              k8s.sched_p50, kd.sched_p50);
+  std::printf("%-28s %10.0fms %10.0fms\n", "scheduling latency p99",
+              k8s.sched_p99, kd.sched_p99);
+  std::printf("%-28s %12lld %12lld\n", "instances started (cold)",
+              static_cast<long long>(k8s.instances),
+              static_cast<long long>(kd.instances));
+  std::printf(
+      "\nKubeDirect absorbs the correlated cold bursts that leave the\n"
+      "stock control plane queueing (the Fig. 12 effect).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Synchronous termination (§4.3): a high-priority service preempts a
+// FaaS pod. The Scheduler replicates a tombstone with an immediate
+// flush and blocks the dependent placement on the Kubelet's
+// invalidation signal — milliseconds, versus the tens of milliseconds
+// a standard API round trip would cost.
+//
+//   $ ./examples/preemption
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "model/objects.h"
+
+using namespace kd;
+
+int main() {
+  sim::Engine engine;
+  // One small node: capacity pressure makes preemption necessary.
+  cluster::ClusterConfig config = cluster::ClusterConfig::Kd(1);
+  config.node_cpu_milli = 1000;  // room for 4 pods of 250 mCPU
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+  cluster.RegisterFunction("batch-fn");
+  cluster.RegisterFunction("latency-critical");
+
+  cluster.ScaleTo("batch-fn", 4);
+  cluster.RunUntil([&] { return cluster.ReadyPodCount("batch-fn") == 4; },
+                   Minutes(5));
+  std::printf("node full: 4 batch pods, %lld/%d mCPU allocated\n",
+              static_cast<long long>(cluster.scheduler().AllocatedCpuOn(
+                  cluster::Cluster::NodeName(0))),
+              1000);
+
+  // The high-priority function needs a slot NOW. Its placement is
+  // conditioned on a victim's termination — the synchronous case.
+  std::string victim;
+  for (const model::ApiObject* pod :
+       cluster.apiserver().PeekAll(model::kKindPod)) {
+    victim = pod->Key();
+    break;
+  }
+  std::printf("preempting %s synchronously...\n", victim.c_str());
+
+  const Time start = engine.now();
+  Time preempted_at = -1;
+  cluster.scheduler().Preempt(victim, [&](Status status) {
+    if (status.ok()) preempted_at = engine.now();
+  });
+  cluster.RunUntil([&] { return preempted_at >= 0; }, Minutes(1));
+  std::printf("victim confirmed terminated in %s "
+              "(two Kd hops + Kubelet processing)\n",
+              FormatDuration(preempted_at - start).c_str());
+
+  // Capacity is free the moment the invalidation lands: place the
+  // high-priority pod.
+  cluster.ScaleTo("latency-critical", 1);
+  cluster.RunUntil(
+      [&] { return cluster.ReadyPodCount("latency-critical") == 1; },
+      Minutes(5));
+  std::printf("latency-critical pod running %s after the preemption\n",
+              FormatDuration(engine.now() - preempted_at).c_str());
+
+  // The batch function's controller notices the lost replica and — with
+  // no capacity — leaves it pending rather than thrashing.
+  engine.RunFor(Seconds(5));
+  std::printf("batch pods now: %zu (one pending until capacity returns)\n",
+              cluster.ReadyPodCount("batch-fn"));
+  return 0;
+}

@@ -1,0 +1,309 @@
+#include "apiserver/apiserver.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace kd::apiserver {
+
+const char* WatchEventTypeName(WatchEventType type) {
+  switch (type) {
+    case WatchEventType::kAdded: return "Added";
+    case WatchEventType::kModified: return "Modified";
+    case WatchEventType::kDeleted: return "Deleted";
+  }
+  return "?";
+}
+
+ApiServer::ApiServer(sim::Engine& engine, CostModel cost)
+    : engine_(engine), cost_(cost) {
+  worker_free_.assign(static_cast<std::size_t>(
+                          std::max(1, cost_.api_server_workers)),
+                      0);
+}
+
+Time ApiServer::AcquireWorker(Duration service_time) {
+  auto it = std::min_element(worker_free_.begin(), worker_free_.end());
+  const Time start = std::max(engine_.now(), *it);
+  const Time end = start + service_time;
+  *it = end;
+  return end;
+}
+
+Time ApiServer::AcquireEtcd(Time ready) {
+  // Writes serialize through the etcd leader. An isolated write pays a
+  // full raft-commit/fsync; writes that queue behind others share the
+  // fsync window (group commit), paying 1/batch of it.
+  Time end;
+  if (etcd_free_ <= ready) {
+    end = ready + cost_.etcd_persist_latency;
+  } else {
+    end = etcd_free_ +
+          cost_.etcd_persist_latency / std::max(1, cost_.etcd_batch);
+  }
+  etcd_free_ = end;
+  return end;
+}
+
+Status ApiServer::RunAdmission(AdmissionOp op,
+                               const model::ApiObject* existing,
+                               const model::ApiObject* incoming) const {
+  for (const auto& hook : admission_hooks_) {
+    Status s = hook(op, existing, incoming);
+    if (!s.ok()) return s;
+  }
+  return OkStatus();
+}
+
+void ApiServer::Broadcast(WatchEventType type, const model::ApiObject& obj) {
+  for (const auto& [id, watcher] : watchers_) {
+    if (watcher.kind != obj.kind) continue;
+    if (watcher.filter && !watcher.filter(obj)) continue;
+    // Copy per watcher; delivery is ordered because events scheduled at
+    // equal times fire in scheduling order.
+    const Duration delay =
+        cost_.watch_delivery_latency +
+        static_cast<Duration>(static_cast<double>(obj.SerializedSize()) *
+                              cost_.serialize_ns_per_byte);
+    WatchCallback cb = watcher.cb;
+    WatchEvent event{type, obj};
+    engine_.ScheduleAfter(delay, [cb = std::move(cb),
+                                  event = std::move(event)]() mutable {
+      cb(event);
+    });
+    metrics_.Count("watch_events");
+  }
+}
+
+void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
+                      bool is_write, std::function<CommitResult()> commit,
+                      std::function<void(CommitResult)> respond) {
+  metrics_.Count(is_write ? "api_writes" : "api_reads");
+  metrics_.Count("api_bytes_in", static_cast<std::int64_t>(request_bytes));
+  const Time arrival = engine_.now();
+
+  const Duration service =
+      cost_.api_processing +
+      static_cast<Duration>(static_cast<double>(request_bytes) *
+                            cost_.serialize_ns_per_byte);
+  const Time service_done = AcquireWorker(service);
+
+  auto finish = [this, arrival, response_bytes,
+                 respond = std::move(respond)](CommitResult result,
+                                               Time commit_done) {
+    const Duration response_ser = static_cast<Duration>(
+        static_cast<double>(response_bytes) * cost_.serialize_ns_per_byte);
+    const Time respond_at =
+        commit_done + response_ser + cost_.api_network_latency;
+    metrics_.Count("api_bytes_out",
+                   static_cast<std::int64_t>(response_bytes));
+    engine_.ScheduleAt(respond_at,
+                       [this, arrival, respond = std::move(respond),
+                        result = std::move(result)]() mutable {
+                         metrics_.RecordDuration("api_call_latency",
+                                                 engine_.now() - arrival);
+                         respond(std::move(result));
+                       });
+  };
+
+  engine_.ScheduleAt(
+      service_done,
+      [this, is_write, commit = std::move(commit),
+       finish = std::move(finish)]() mutable {
+        CommitResult result = commit();
+        Time done = engine_.now();
+        if (is_write && result.status.ok()) {
+          done = AcquireEtcd(done);
+        }
+        finish(std::move(result), done);
+      });
+}
+
+void ApiServer::HandleCreate(
+    model::ApiObject obj,
+    std::function<void(StatusOr<model::ApiObject>)> done) {
+  const std::size_t bytes = obj.SerializedSize();
+  Serve(
+      bytes, bytes, /*is_write=*/true,
+      [this, obj = std::move(obj)]() mutable -> CommitResult {
+        const std::string key = obj.Key();
+        auto it = store_.find(key);
+        if (it != store_.end()) {
+          return {AlreadyExistsError(key), {}};
+        }
+        Status admission =
+            RunAdmission(AdmissionOp::kCreate, nullptr, &obj);
+        if (!admission.ok()) return {admission, {}};
+        obj.resource_version = ++revision_;
+        auto [ins, ok] = store_.emplace(key, std::move(obj));
+        (void)ok;
+        Broadcast(WatchEventType::kAdded, ins->second);
+        return {OkStatus(), ins->second};
+      },
+      [done = std::move(done)](CommitResult r) {
+        if (r.status.ok()) {
+          done(std::move(r.object));
+        } else {
+          done(r.status);
+        }
+      });
+}
+
+void ApiServer::HandleUpdate(
+    model::ApiObject obj,
+    std::function<void(StatusOr<model::ApiObject>)> done) {
+  const std::size_t bytes = obj.SerializedSize();
+  Serve(
+      bytes, bytes, /*is_write=*/true,
+      [this, obj = std::move(obj)]() mutable -> CommitResult {
+        const std::string key = obj.Key();
+        auto it = store_.find(key);
+        if (it == store_.end()) {
+          return {NotFoundError(key), {}};
+        }
+        if (obj.resource_version != it->second.resource_version) {
+          return {ConflictError(StrFormat(
+                      "%s: stale resourceVersion %llu (current %llu)",
+                      key.c_str(),
+                      static_cast<unsigned long long>(obj.resource_version),
+                      static_cast<unsigned long long>(
+                          it->second.resource_version))),
+                  {}};
+        }
+        Status admission =
+            RunAdmission(AdmissionOp::kUpdate, &it->second, &obj);
+        if (!admission.ok()) return {admission, {}};
+        obj.resource_version = ++revision_;
+        it->second = std::move(obj);
+        Broadcast(WatchEventType::kModified, it->second);
+        return {OkStatus(), it->second};
+      },
+      [done = std::move(done)](CommitResult r) {
+        if (r.status.ok()) {
+          done(std::move(r.object));
+        } else {
+          done(r.status);
+        }
+      });
+}
+
+void ApiServer::HandleDelete(const std::string& kind, const std::string& name,
+                             std::function<void(Status)> done) {
+  Serve(
+      kind.size() + name.size() + 64, 64, /*is_write=*/true,
+      [this, kind, name]() -> CommitResult {
+        const std::string key = model::ApiObject::MakeKey(kind, name);
+        auto it = store_.find(key);
+        if (it == store_.end()) {
+          return {NotFoundError(key), {}};
+        }
+        Status admission =
+            RunAdmission(AdmissionOp::kDelete, &it->second, nullptr);
+        if (!admission.ok()) return {admission, {}};
+        model::ApiObject removed = std::move(it->second);
+        store_.erase(it);
+        removed.resource_version = ++revision_;
+        Broadcast(WatchEventType::kDeleted, removed);
+        return {OkStatus(), std::move(removed)};
+      },
+      [done = std::move(done)](CommitResult r) { done(r.status); });
+}
+
+void ApiServer::HandleGet(
+    const std::string& kind, const std::string& name,
+    std::function<void(StatusOr<model::ApiObject>)> done) {
+  const std::string key = model::ApiObject::MakeKey(kind, name);
+  auto it = store_.find(key);
+  const std::size_t response_bytes =
+      it == store_.end() ? 64 : it->second.SerializedSize();
+  Serve(
+      key.size() + 64, response_bytes, /*is_write=*/false,
+      [this, key]() -> CommitResult {
+        auto it2 = store_.find(key);
+        if (it2 == store_.end()) return {NotFoundError(key), {}};
+        return {OkStatus(), it2->second};
+      },
+      [done = std::move(done)](CommitResult r) {
+        if (r.status.ok()) {
+          done(std::move(r.object));
+        } else {
+          done(r.status);
+        }
+      });
+}
+
+void ApiServer::HandleList(
+    const std::string& kind,
+    std::function<void(StatusOr<std::vector<model::ApiObject>>)> done) {
+  // Response size is the whole collection — the expensive part of a
+  // relist, which is why informers avoid them.
+  std::size_t response_bytes = 64;
+  for (const auto& [key, obj] : store_) {
+    if (obj.kind == kind) response_bytes += obj.SerializedSize();
+  }
+  // Snapshot at commit time (server-side), deliver after response
+  // latency; the snapshot is shared between the two closures.
+  auto snapshot = std::make_shared<std::vector<model::ApiObject>>();
+  Serve(
+      kind.size() + 64, response_bytes, /*is_write=*/false,
+      [this, kind, snapshot]() -> CommitResult {
+        for (const auto& [key, obj] : store_) {
+          if (obj.kind == kind) snapshot->push_back(obj);
+        }
+        return {OkStatus(), {}};
+      },
+      [snapshot, done = std::move(done)](CommitResult r) {
+        if (!r.status.ok()) {
+          done(r.status);
+          return;
+        }
+        done(std::move(*snapshot));
+      });
+}
+
+WatchId ApiServer::Watch(const std::string& kind, WatchCallback cb) {
+  const WatchId id = next_watch_id_++;
+  watchers_[id] = Watcher{kind, nullptr, std::move(cb)};
+  return id;
+}
+
+WatchId ApiServer::Watch(const std::string& kind,
+                         std::function<bool(const model::ApiObject&)> filter,
+                         WatchCallback cb) {
+  const WatchId id = next_watch_id_++;
+  watchers_[id] = Watcher{kind, std::move(filter), std::move(cb)};
+  return id;
+}
+
+void ApiServer::Unwatch(WatchId id) { watchers_.erase(id); }
+
+const model::ApiObject* ApiServer::Peek(const std::string& kind,
+                                        const std::string& name) const {
+  auto it = store_.find(model::ApiObject::MakeKey(kind, name));
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+std::vector<const model::ApiObject*> ApiServer::PeekAll(
+    const std::string& kind) const {
+  std::vector<const model::ApiObject*> out;
+  for (const auto& [key, obj] : store_) {
+    if (obj.kind == kind) out.push_back(&obj);
+  }
+  return out;
+}
+
+void ApiServer::SeedObject(model::ApiObject obj) {
+  obj.resource_version = ++revision_;
+  const std::string key = obj.Key();
+  auto it = store_.find(key);
+  if (it == store_.end()) {
+    auto [ins, ok] = store_.emplace(key, std::move(obj));
+    (void)ok;
+    Broadcast(WatchEventType::kAdded, ins->second);
+  } else {
+    it->second = std::move(obj);
+    Broadcast(WatchEventType::kModified, it->second);
+  }
+}
+
+}  // namespace kd::apiserver

@@ -1,0 +1,149 @@
+// The Kubernetes API server + etcd model: the single source of truth
+// controllers collaborate through in stock Kubernetes, and the
+// bottleneck KubeDirect bypasses.
+//
+// What is modelled (because the paper's measurements depend on it):
+//   - optimistic concurrency: every object carries a resourceVersion;
+//     updates against a stale version fail with Conflict;
+//   - persistence: every write pays an etcd raft-commit/fsync latency,
+//     serialized through a single leader with group commit;
+//   - pub-sub: watchers subscribe per kind and receive ordered
+//     Added/Modified/Deleted events after a delivery latency;
+//   - request service: a bounded worker pool; requests queue when the
+//     server is saturated (the "high load on the API Server" effect of
+//     Fig. 11);
+//   - admission control: registered hooks can reject writes — used by
+//     KubeDirect's exclusive-ownership guard (§5).
+//
+// Costs are charged in simulated time from the shared CostModel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "model/objects.h"
+#include "sim/engine.h"
+
+namespace kd::apiserver {
+
+enum class WatchEventType { kAdded, kModified, kDeleted };
+const char* WatchEventTypeName(WatchEventType type);
+
+struct WatchEvent {
+  WatchEventType type;
+  model::ApiObject object;
+};
+
+using WatchCallback = std::function<void(const WatchEvent&)>;
+using WatchId = std::uint64_t;
+
+enum class AdmissionOp { kCreate, kUpdate, kDelete };
+
+// Admission hook: may veto a write. `existing` is null for creates,
+// `incoming` is null for deletes.
+using AdmissionHook = std::function<Status(
+    AdmissionOp op, const model::ApiObject* existing,
+    const model::ApiObject* incoming)>;
+
+class ApiServer {
+ public:
+  ApiServer(sim::Engine& engine, CostModel cost);
+
+  // --- server-side request handlers ----------------------------------
+  // Invoked by ApiClient after client-side costs; `done` fires after
+  // the response has travelled back. Handlers may also be called
+  // directly by tests.
+  void HandleCreate(model::ApiObject obj,
+                    std::function<void(StatusOr<model::ApiObject>)> done);
+  // Optimistic concurrency: obj.resource_version must match the stored
+  // version or the update fails with kConflict.
+  void HandleUpdate(model::ApiObject obj,
+                    std::function<void(StatusOr<model::ApiObject>)> done);
+  void HandleDelete(const std::string& kind, const std::string& name,
+                    std::function<void(Status)> done);
+  void HandleGet(const std::string& kind, const std::string& name,
+                 std::function<void(StatusOr<model::ApiObject>)> done);
+  void HandleList(
+      const std::string& kind,
+      std::function<void(StatusOr<std::vector<model::ApiObject>>)> done);
+
+  // --- watch ------------------------------------------------------------
+  // Registration is free (control-plane setup); events are delivered
+  // with watch_delivery_latency, in commit order per watcher.
+  WatchId Watch(const std::string& kind, WatchCallback cb);
+  // Server-side filtered watch (field selectors — how each Kubelet
+  // subscribes to only the Pods bound to its node). Delete events are
+  // matched against the last state, which carried the field.
+  WatchId Watch(const std::string& kind,
+                std::function<bool(const model::ApiObject&)> filter,
+                WatchCallback cb);
+  void Unwatch(WatchId id);
+
+  // --- admission ----------------------------------------------------------
+  void AddAdmissionHook(AdmissionHook hook) {
+    admission_hooks_.push_back(std::move(hook));
+  }
+
+  // --- direct store access (tests/benches; charges nothing) -----------
+  const model::ApiObject* Peek(const std::string& kind,
+                               const std::string& name) const;
+  std::vector<const model::ApiObject*> PeekAll(const std::string& kind) const;
+  std::size_t object_count() const { return store_.size(); }
+  // Writes without cost or admission — test setup only.
+  void SeedObject(model::ApiObject obj);
+
+  MetricsRecorder& metrics() { return metrics_; }
+  const CostModel& cost() const { return cost_; }
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  struct CommitResult {
+    Status status;
+    model::ApiObject object;  // committed version (valid when status ok)
+  };
+
+  // Schedules request service through the worker pool; `service_extra`
+  // is charged inside the worker on top of base processing +
+  // deserialization. `commit` runs at service completion (at the
+  // server); its result is delivered to `respond` after response
+  // serialization + network latency.
+  void Serve(std::size_t request_bytes, std::size_t response_bytes,
+             bool is_write, std::function<CommitResult()> commit,
+             std::function<void(CommitResult)> respond);
+
+  Time AcquireWorker(Duration service_time);
+  Time AcquireEtcd(Time ready);
+
+  Status RunAdmission(AdmissionOp op, const model::ApiObject* existing,
+                      const model::ApiObject* incoming) const;
+
+  void Broadcast(WatchEventType type, const model::ApiObject& obj);
+
+  sim::Engine& engine_;
+  CostModel cost_;
+  std::map<std::string, model::ApiObject> store_;  // key -> object
+  std::uint64_t revision_ = 0;
+
+  std::vector<Time> worker_free_;  // min element = next available worker
+  Time etcd_free_ = 0;
+
+  struct Watcher {
+    std::string kind;
+    std::function<bool(const model::ApiObject&)> filter;  // may be null
+    WatchCallback cb;
+  };
+  std::map<WatchId, Watcher> watchers_;
+  WatchId next_watch_id_ = 1;
+
+  std::vector<AdmissionHook> admission_hooks_;
+  MetricsRecorder metrics_;
+};
+
+}  // namespace kd::apiserver

@@ -1,0 +1,86 @@
+#include "apiserver/client.h"
+
+namespace kd::apiserver {
+
+ApiClient::ApiClient(sim::Engine& engine, ApiServer& server,
+                     std::string client_name, double qps, double burst,
+                     MetricsRecorder* metrics)
+    : engine_(engine),
+      server_(server),
+      name_(std::move(client_name)),
+      limiter_(engine, qps, burst),
+      tracker_(metrics, name_ + ".active") {}
+
+void ApiClient::Dispatch(std::size_t request_bytes,
+                         std::function<void()> send) {
+  limiter_.Acquire([this, request_bytes, send = std::move(send)]() mutable {
+    ++calls_issued_;
+    const Duration client_ser = static_cast<Duration>(
+        static_cast<double>(request_bytes) *
+        server_.cost().serialize_ns_per_byte);
+    engine_.ScheduleAfter(client_ser + server_.cost().api_network_latency,
+                          std::move(send));
+  });
+}
+
+void ApiClient::Create(model::ApiObject obj,
+                       std::function<void(StatusOr<model::ApiObject>)> done) {
+  tracker_.Inc(engine_.now());
+  auto wrapped = [this, done = std::move(done)](
+                     StatusOr<model::ApiObject> r) {
+    tracker_.Dec(engine_.now());
+    done(std::move(r));
+  };
+  const std::size_t bytes = obj.SerializedSize();
+  Dispatch(bytes, [this, obj = std::move(obj),
+                   done = std::move(wrapped)]() mutable {
+    server_.HandleCreate(std::move(obj), std::move(done));
+  });
+}
+
+void ApiClient::Update(model::ApiObject obj,
+                       std::function<void(StatusOr<model::ApiObject>)> done) {
+  tracker_.Inc(engine_.now());
+  auto wrapped = [this, done = std::move(done)](
+                     StatusOr<model::ApiObject> r) {
+    tracker_.Dec(engine_.now());
+    done(std::move(r));
+  };
+  const std::size_t bytes = obj.SerializedSize();
+  Dispatch(bytes, [this, obj = std::move(obj),
+                   done = std::move(wrapped)]() mutable {
+    server_.HandleUpdate(std::move(obj), std::move(done));
+  });
+}
+
+void ApiClient::Delete(const std::string& kind, const std::string& name,
+                       std::function<void(Status)> done) {
+  tracker_.Inc(engine_.now());
+  auto wrapped = [this, done = std::move(done)](Status s) {
+    tracker_.Dec(engine_.now());
+    done(std::move(s));
+  };
+  Dispatch(kind.size() + name.size() + 64,
+           [this, kind, name, done = std::move(wrapped)]() mutable {
+             server_.HandleDelete(kind, name, std::move(done));
+           });
+}
+
+void ApiClient::Get(const std::string& kind, const std::string& name,
+                    std::function<void(StatusOr<model::ApiObject>)> done) {
+  Dispatch(kind.size() + name.size() + 64,
+           [this, kind, name, done = std::move(done)]() mutable {
+             server_.HandleGet(kind, name, std::move(done));
+           });
+}
+
+void ApiClient::List(
+    const std::string& kind,
+    std::function<void(StatusOr<std::vector<model::ApiObject>>)> done) {
+  Dispatch(kind.size() + 64,
+           [this, kind, done = std::move(done)]() mutable {
+             server_.HandleList(kind, std::move(done));
+           });
+}
+
+}  // namespace kd::apiserver

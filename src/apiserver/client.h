@@ -1,0 +1,62 @@
+// Per-controller API client: the path every Kubernetes API call takes
+// in a stock controller. Charges, in order:
+//   1. the client-side token-bucket rate limit (the §2.2 bottleneck);
+//   2. client-side serialization of the request body;
+//   3. network latency to the API server;
+// then hands the request to ApiServer, which charges its own queueing,
+// etcd, and response costs before invoking the callback.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apiserver/apiserver.h"
+#include "apiserver/rate_limiter.h"
+#include "common/active_tracker.h"
+#include "common/cost_model.h"
+
+namespace kd::apiserver {
+
+class ApiClient {
+ public:
+  // qps/burst: this client's flowcontrol settings (controllers and
+  // kubelets differ; see CostModel).
+  // `metrics` (optional) receives "<client_name>.active" busy time: the
+  // union of intervals with requests outstanding (queued in the rate
+  // limiter, on the wire, or being served) — the isolated stage time of
+  // the paper's breakdown figures.
+  ApiClient(sim::Engine& engine, ApiServer& server, std::string client_name,
+            double qps, double burst, MetricsRecorder* metrics = nullptr);
+
+  void Create(model::ApiObject obj,
+              std::function<void(StatusOr<model::ApiObject>)> done);
+  void Update(model::ApiObject obj,
+              std::function<void(StatusOr<model::ApiObject>)> done);
+  void Delete(const std::string& kind, const std::string& name,
+              std::function<void(Status)> done);
+  void Get(const std::string& kind, const std::string& name,
+           std::function<void(StatusOr<model::ApiObject>)> done);
+  void List(const std::string& kind,
+            std::function<void(StatusOr<std::vector<model::ApiObject>>)> done);
+
+  const std::string& name() const { return name_; }
+  TokenBucket& limiter() { return limiter_; }
+  // API calls issued (post rate limiting).
+  std::uint64_t calls_issued() const { return calls_issued_; }
+
+ private:
+  // Applies rate limit + client serialization + uplink latency, then
+  // runs `send` (which must invoke an ApiServer handler).
+  void Dispatch(std::size_t request_bytes, std::function<void()> send);
+
+  sim::Engine& engine_;
+  ApiServer& server_;
+  std::string name_;
+  TokenBucket limiter_;
+  ActiveTracker tracker_;
+  std::uint64_t calls_issued_ = 0;
+};
+
+}  // namespace kd::apiserver

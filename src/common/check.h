@@ -1,0 +1,16 @@
+// Always-on invariant checks (unlike assert, not compiled out in
+// release builds). Used for programming errors that must never be
+// silently ignored, e.g. duplicate endpoint registration.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define KD_CHECK(cond, msg)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "KD_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, msg, #cond);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,29 @@
+#include "common/cost_model.h"
+
+namespace kd {
+
+CostModel CostModel::Instant() {
+  CostModel m;
+  m.api_network_latency = 0;
+  m.api_processing = 0;
+  m.serialize_ns_per_byte = 0;
+  m.etcd_persist_latency = 0;
+  m.watch_delivery_latency = 0;
+  m.controller_qps = 1e9;
+  m.controller_burst = 1e9;
+  m.scheduler_qps = 1e9;
+  m.scheduler_burst = 1e9;
+  m.kubelet_qps = 1e9;
+  m.kubelet_burst = 1e9;
+  m.reconcile_base = 0;
+  m.scheduler_per_node_scan = 0;
+  m.scheduler_per_pod = 0;
+  m.kubelet_cold_start = 0;
+  m.kubelet_terminate = 0;
+  m.dirigent_cold_start = 0;
+  m.kd_materialize = 0;
+  m.kd_message_process = 0;
+  return m;
+}
+
+}  // namespace kd

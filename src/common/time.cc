@@ -1,0 +1,34 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kd {
+
+std::string FormatDuration(Duration d) {
+  const bool neg = d < 0;
+  const double abs_ns = std::abs(static_cast<double>(d));
+  double value;
+  const char* unit;
+  if (abs_ns < 1e3) {
+    value = abs_ns;
+    unit = "ns";
+  } else if (abs_ns < 1e6) {
+    value = abs_ns / 1e3;
+    unit = "us";
+  } else if (abs_ns < 1e9) {
+    value = abs_ns / 1e6;
+    unit = "ms";
+  } else if (abs_ns < 60e9) {
+    value = abs_ns / 1e9;
+    unit = "s";
+  } else {
+    value = abs_ns / 60e9;
+    unit = "min";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%.3g%s", neg ? "-" : "", value, unit);
+  return buf;
+}
+
+}  // namespace kd

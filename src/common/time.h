@@ -1,0 +1,53 @@
+// Time primitives shared by the whole code base.
+//
+// All simulated time is carried as an integral number of nanoseconds
+// (kd::Time / kd::Duration). Helpers construct durations from human
+// units and format them for reports. Using a plain int64 keeps events
+// trivially comparable and hashable inside the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kd {
+
+// Absolute simulated time in nanoseconds since the start of the run.
+using Time = std::int64_t;
+// A span of simulated time in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+
+constexpr Duration Nanoseconds(std::int64_t n) { return n; }
+constexpr Duration Microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration Milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(std::int64_t n) { return n * kSecond; }
+constexpr Duration Minutes(std::int64_t n) { return n * kMinute; }
+
+// Fractional constructors, handy for cost models ("0.5 ms per hop").
+constexpr Duration MicrosecondsF(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kMicrosecond));
+}
+constexpr Duration MillisecondsF(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kMillisecond));
+}
+constexpr Duration SecondsF(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kSecond));
+}
+
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Renders a duration with an auto-selected unit, e.g. "12.4ms", "3.02s".
+std::string FormatDuration(Duration d);
+
+}  // namespace kd

@@ -1,0 +1,82 @@
+// The Autoscaler — step ① of the critical path (Fig. 1).
+//
+// This is the narrow-waist entry point: platform-specific autoscaling
+// policies (Knative's concurrency-based autoscaler, the strawman
+// one-shot scaler of §6.1) all funnel into ScaleTo(deployment, n).
+//
+// Level-triggered like the TLA+ spec's Autoscaler module: the desired
+// replica count is recomputed each loop iteration and re-sent whenever
+// it differs from the last successfully transmitted value
+// (LastDesiredReplicas); nothing about past decisions needs to be
+// remembered across a crash.
+//
+//   K8s mode: updates Deployment.spec.replicas through the API server
+//             (optimistic-concurrency retries on conflict).
+//   Kd  mode: updates its local view and sends a ~60 B delta message
+//             to the Deployment controller.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "apiserver/client.h"
+#include "controllers/types.h"
+#include "kubedirect/hierarchy.h"
+#include "runtime/cache.h"
+#include "runtime/control_loop.h"
+#include "runtime/env.h"
+#include "runtime/informer.h"
+
+namespace kd::controllers {
+
+class Autoscaler {
+ public:
+  Autoscaler(runtime::Env& env, Mode mode);
+  ~Autoscaler();
+
+  // Syncs the Deployment informer (and in Kd mode connects the link to
+  // the Deployment controller).
+  void Start();
+
+  // Sets the desired scale for a Deployment. Called by the platform's
+  // autoscaling policy; repeat calls with the same value are no-ops.
+  void ScaleTo(const std::string& deployment_name, std::int64_t replicas);
+
+  std::int64_t DesiredFor(const std::string& deployment_name) const;
+
+  // Failure injection: Crash drops all soft state and the link;
+  // Restart re-syncs. The platform re-issues desired scales on its
+  // next evaluation tick (level-triggered).
+  void Crash();
+  void Restart();
+
+  bool link_ready() const;
+
+ private:
+  Duration Reconcile(const std::string& deployment_name);
+  void SendScale(const std::string& deployment_name, std::int64_t replicas);
+
+  runtime::Env& env_;
+  Mode mode_;
+  runtime::ObjectCache cache_;  // Deployments (informer view)
+  apiserver::ApiClient api_;
+  runtime::Informer informer_;
+  runtime::ControlLoop loop_;
+
+  // Desired per deployment (the policy's latest word) and the last
+  // value successfully handed downstream.
+  std::map<std::string, std::int64_t> desired_;
+  std::map<std::string, std::int64_t> last_sent_;
+
+  // Kd plumbing: the egress link to the Deployment controller. The
+  // level-triggered links carry no handshake state (Fig. 15's
+  // "negligible overhead" for these controllers): re-forwarding happens
+  // in the next scaling call.
+  net::Endpoint endpoint_;
+  runtime::ObjectCache link_scratch_;  // intentionally empty
+  std::unique_ptr<kubedirect::HierarchyClient> downstream_;
+  bool crashed_ = false;
+};
+
+}  // namespace kd::controllers

@@ -1,0 +1,173 @@
+#include "controllers/deployment_controller.h"
+
+#include "common/logging.h"
+#include "model/objects.h"
+
+namespace kd::controllers {
+
+using model::ApiObject;
+using model::kKindDeployment;
+using model::kKindReplicaSet;
+
+DeploymentController::DeploymentController(runtime::Env& env, Mode mode)
+    : env_(env),
+      mode_(mode),
+      api_(env.engine, env.apiserver, "deployment-controller",
+           env.cost.controller_qps, env.cost.controller_burst, &env.metrics),
+      informer_(api_, env.apiserver, cache_),
+      loop_(env.engine, env.cost, "deployment", &env.metrics),
+      endpoint_(env.network, Addresses::DeploymentController()) {
+  loop_.SetReconciler([this](const std::string& key) { return Reconcile(key); });
+  // A Deployment change (watch event or direct message) triggers its
+  // reconcile; ReplicaSet changes trigger the owning Deployment's.
+  cache_.AddChangeHandler([this](const std::string& key,
+                                 const ApiObject* before,
+                                 const ApiObject* after) {
+    const ApiObject* obj = after != nullptr ? after : before;
+    if (obj == nullptr) return;
+    if (obj->kind == kKindDeployment) {
+      loop_.Enqueue(obj->name);
+    } else if (obj->kind == kKindReplicaSet) {
+      loop_.Enqueue(model::GetOwnerName(*obj));
+    }
+  });
+}
+
+DeploymentController::~DeploymentController() {
+  if (downstream_) downstream_->Stop();
+  if (upstream_) upstream_->Stop();
+}
+
+void DeploymentController::Start() {
+  crashed_ = false;
+  informer_.Start(kKindDeployment);
+  informer_.Start(kKindReplicaSet);
+  if (mode_ != Mode::kKd) return;
+
+  kubedirect::HierarchyServer::Callbacks server_callbacks;
+  server_callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
+    OnScaleMessage(msg);
+  };
+  upstream_ = std::make_unique<kubedirect::HierarchyServer>(
+      env_.engine, env_.cost, endpoint_, link_scratch_,
+      /*kind_filter=*/"__none__", std::move(server_callbacks), &env_.metrics);
+  upstream_->Start();
+
+  kubedirect::HierarchyClient::Callbacks client_callbacks;
+  client_callbacks.on_ready = [this](const kubedirect::ChangeSet&) {
+    last_sent_.clear();
+    for (const auto& [name, replicas] : desired_) loop_.Enqueue(name);
+  };
+  client_callbacks.on_down = [this] { last_sent_.clear(); };
+  downstream_ = std::make_unique<kubedirect::HierarchyClient>(
+      env_.engine, env_.cost, endpoint_, Addresses::ReplicaSetController(),
+      link_scratch_, /*kind_filter=*/"__none__", nullptr,
+      std::move(client_callbacks), &env_.metrics);
+  downstream_->Start();
+}
+
+bool DeploymentController::link_ready() const {
+  return downstream_ != nullptr && downstream_->ready();
+}
+
+void DeploymentController::OnScaleMessage(const kubedirect::KdMessage& msg) {
+  // Expected shape: {Deployment/<name>, spec.replicas -> N}.
+  const std::size_t slash = msg.obj_key.find('/');
+  if (slash == std::string::npos) return;
+  const std::string name = msg.obj_key.substr(slash + 1);
+  auto it = msg.attrs.find("spec.replicas");
+  if (it == msg.attrs.end() || it->second.is_pointer()) return;
+  desired_[name] = it->second.literal().as_int();
+  loop_.Enqueue(name);
+}
+
+const ApiObject* DeploymentController::FindReplicaSet(
+    const ApiObject& deployment) {
+  const std::int64_t revision = model::GetRevision(deployment);
+  for (const ApiObject* rs : cache_.List(kKindReplicaSet)) {
+    if (model::GetOwnerName(*rs) == deployment.name &&
+        model::GetRevision(*rs) == revision) {
+      return rs;
+    }
+  }
+  return nullptr;
+}
+
+Duration DeploymentController::Reconcile(const std::string& deployment_name) {
+  const ApiObject* deployment =
+      cache_.Get(ApiObject::MakeKey(kKindDeployment, deployment_name));
+  if (deployment == nullptr) return 0;
+
+  std::int64_t desired;
+  if (mode_ == Mode::kKd) {
+    auto it = desired_.find(deployment_name);
+    if (it == desired_.end()) return 0;  // no scale decision yet
+    desired = it->second;
+  } else {
+    desired = model::GetReplicas(*deployment);
+  }
+
+  const ApiObject* rs = FindReplicaSet(*deployment);
+  if (rs == nullptr) {
+    // ReplicaSet not registered yet (platform still configuring);
+    // retry once it appears in the cache.
+    loop_.EnqueueAfter(deployment_name, Milliseconds(20));
+    return 0;
+  }
+
+  env_.metrics.MarkStart("deployment", env_.engine.now());
+  if (mode_ == Mode::kKd) {
+    const std::string rs_key = rs->Key();
+    auto sent = last_sent_.find(rs_key);
+    if (sent != last_sent_.end() && sent->second == desired) return 0;
+    if (!downstream_ || !downstream_->ready()) return 0;  // re-sent on_ready
+    kubedirect::KdMessage msg;
+    msg.obj_key = rs_key;
+    msg.attrs.emplace("spec.replicas", kubedirect::KdValue::Literal(desired));
+    downstream_->SendUpsert(msg);
+    last_sent_[rs_key] = desired;
+    env_.metrics.MarkStop("deployment", env_.engine.now());
+    return 0;
+  }
+
+  if (model::GetReplicas(*rs) == desired) {
+    env_.metrics.MarkStop("deployment", env_.engine.now());
+    return 0;
+  }
+  ApiObject updated = *rs;
+  model::SetReplicas(updated, desired);
+  api_.Update(updated, [this, deployment_name](StatusOr<ApiObject> result) {
+    env_.metrics.MarkStop("deployment", env_.engine.now());
+    if (!result.ok()) {
+      if (!crashed_) loop_.EnqueueAfter(deployment_name, Milliseconds(5));
+      return;
+    }
+    cache_.Upsert(std::move(*result));
+  });
+  return 0;
+}
+
+void DeploymentController::Crash() {
+  crashed_ = true;
+  desired_.clear();
+  last_sent_.clear();
+  cache_.Clear();
+  loop_.Clear();
+  informer_.Stop();
+  // Crash the endpoint first: connections die silently (no FIN), the
+  // peers detect the loss via keepalive timeout — then tear down the
+  // link objects locally.
+  env_.network.CrashEndpoint(endpoint_.address());
+  if (downstream_) {
+    downstream_->Stop();
+    downstream_.reset();
+  }
+  if (upstream_) {
+    upstream_->Stop();
+    upstream_.reset();
+  }
+}
+
+void DeploymentController::Restart() { Start(); }
+
+}  // namespace kd::controllers

@@ -1,0 +1,64 @@
+// The Deployment controller — step ② of the critical path (Fig. 1).
+//
+// Selects the ReplicaSet of the Deployment's current revision and
+// propagates the desired replica count to it. Like the Autoscaler it
+// is level-triggered and idempotent (§4.1): it tracks the last value
+// sent per ReplicaSet and re-forwards after link resets.
+//
+// ReplicaSet *creation* (new function versions / rollouts) is an
+// offline upstream operation in both modes and goes through the API
+// server — matching the paper's observation that platform
+// configuration is not on the scaling critical path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "apiserver/client.h"
+#include "controllers/types.h"
+#include "kubedirect/hierarchy.h"
+#include "runtime/cache.h"
+#include "runtime/control_loop.h"
+#include "runtime/env.h"
+#include "runtime/informer.h"
+
+namespace kd::controllers {
+
+class DeploymentController {
+ public:
+  DeploymentController(runtime::Env& env, Mode mode);
+  ~DeploymentController();
+
+  void Start();
+  void Crash();
+  void Restart();
+
+  bool link_ready() const;
+
+ private:
+  Duration Reconcile(const std::string& deployment_name);
+  void OnScaleMessage(const kubedirect::KdMessage& msg);
+  // Finds the ReplicaSet matching the deployment's current revision.
+  const model::ApiObject* FindReplicaSet(const model::ApiObject& deployment);
+
+  runtime::Env& env_;
+  Mode mode_;
+  runtime::ObjectCache cache_;  // Deployments + ReplicaSets (informer)
+  apiserver::ApiClient api_;
+  runtime::Informer informer_;
+  runtime::ControlLoop loop_;
+
+  // Kd mode: the authoritative desired replicas per Deployment (fed by
+  // direct messages; the API-server copy is guarded and stale).
+  std::map<std::string, std::int64_t> desired_;
+  std::map<std::string, std::int64_t> last_sent_;  // per ReplicaSet key
+
+  net::Endpoint endpoint_;
+  runtime::ObjectCache link_scratch_;
+  std::unique_ptr<kubedirect::HierarchyServer> upstream_;
+  std::unique_ptr<kubedirect::HierarchyClient> downstream_;
+  bool crashed_ = false;
+};
+
+}  // namespace kd::controllers

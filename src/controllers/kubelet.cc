@@ -1,0 +1,383 @@
+#include "controllers/kubelet.h"
+
+#include "common/logging.h"
+#include "kubedirect/materialize.h"
+#include "common/strings.h"
+#include "model/objects.h"
+
+namespace kd::controllers {
+
+using model::ApiObject;
+using model::kKindNode;
+using model::kKindPod;
+using model::kKindReplicaSet;
+
+Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
+                 SandboxParams sandbox)
+    : env_(env),
+      mode_(mode),
+      node_name_(std::move(node_name)),
+      sandbox_(sandbox),
+      api_(env.engine, env.apiserver, "kubelet-" + node_name_,
+           env.cost.kubelet_qps, env.cost.kubelet_burst),
+      rs_informer_(api_, env.apiserver, cache_),
+      node_informer_(api_, env.apiserver, node_watch_cache_),
+      endpoint_(env.network, Addresses::Kubelet(node_name_)) {
+  // Drain signal: the Scheduler marks our Node invalid when it cannot
+  // reach us (§4.3 "Cancellation").
+  node_watch_cache_.AddChangeHandler([this](const std::string& key,
+                                            const ApiObject* before,
+                                            const ApiObject* after) {
+    (void)key;
+    (void)before;
+    if (after == nullptr || after->name != node_name_) return;
+    if (model::IsNodeInvalid(*after)) DrainAllKdPods();
+  });
+}
+
+Kubelet::~Kubelet() {
+  if (upstream_) upstream_->Stop();
+  if (pod_watch_active_) env_.apiserver.Unwatch(pod_watch_);
+  if (node_watch_active_) env_.apiserver.Unwatch(node_watch_);
+}
+
+void Kubelet::Start() {
+  crashed_ = false;
+  if (mode_ == Mode::kKd) {
+    // Templates for dynamic materialization.
+    rs_informer_.Start(kKindReplicaSet);
+    // Drain watch: only THIS node's object matters (a full Node list
+    // sync per kubelet would be O(M^2) cluster-wide at boot).
+    const std::string me = node_name_;
+    node_watch_ = env_.apiserver.Watch(
+        kKindNode,
+        [me](const ApiObject& node) { return node.name == me; },
+        [this](const apiserver::WatchEvent& event) {
+          if (crashed_) return;
+          if (event.type == apiserver::WatchEventType::kDeleted) {
+            node_watch_cache_.Remove(event.object.Key());
+          } else {
+            node_watch_cache_.Upsert(event.object);
+          }
+        });
+    node_watch_active_ = true;
+    api_.Get(kKindNode, node_name_, [this](StatusOr<ApiObject> result) {
+      if (result.ok() && !crashed_) node_watch_cache_.Upsert(std::move(*result));
+    });
+
+    kubedirect::HierarchyServer::Callbacks callbacks;
+    callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
+      OnPodMessage(msg);
+    };
+    callbacks.on_tombstone = [this](const std::string& key) {
+      Terminate(key, /*notify_upstream=*/true);
+    };
+    upstream_ = std::make_unique<kubedirect::HierarchyServer>(
+        env_.engine, env_.cost, endpoint_, cache_, /*kind_filter=*/kKindPod,
+        std::move(callbacks), &env_.metrics);
+    upstream_->Start();
+
+    // Crash recovery: containers of *published* pods outlive a Kubelet
+    // restart (they are real processes); re-adopt them from the API
+    // server. Unpublished pods died with us (the TLA+ spec's
+    // RunningPods' = APIPods).
+    api_.List(kKindPod, [this](StatusOr<std::vector<ApiObject>> result) {
+      if (!result.ok() || crashed_) return;
+      for (auto& pod : *result) {
+        if (model::GetNodeName(pod) == node_name_) {
+          published_.insert(pod.Key());
+          cache_.Upsert(std::move(pod));
+        }
+      }
+    });
+    return;
+  }
+
+  // K8s mode: field-selector watch on pods bound to this node.
+  const std::string me = node_name_;
+  pod_watch_ = env_.apiserver.Watch(
+      kKindPod,
+      [me](const ApiObject& pod) { return model::GetNodeName(pod) == me; },
+      [this](const apiserver::WatchEvent& event) {
+        if (crashed_) return;
+        switch (event.type) {
+          case apiserver::WatchEventType::kAdded:
+          case apiserver::WatchEventType::kModified:
+            OnPodBound(event.object);
+            break;
+          case apiserver::WatchEventType::kDeleted: {
+            // The API server already removed the object; just stop the
+            // container locally.
+            const std::string key = event.object.Key();
+            cache_.Remove(key);
+            starting_.erase(key);
+            published_.erase(key);
+            break;
+          }
+        }
+      });
+  pod_watch_active_ = true;
+  // Adopt pods bound to us that predate the watch (restart path).
+  api_.List(kKindPod, [this](StatusOr<std::vector<ApiObject>> result) {
+    if (!result.ok() || crashed_) return;
+    for (auto& pod : *result) {
+      if (model::GetNodeName(pod) == node_name_) OnPodBound(std::move(pod));
+    }
+  });
+}
+
+void Kubelet::OnPodMessage(const kubedirect::KdMessage& msg) {
+  materializing_.insert(msg.obj_key);
+  StatusOr<ApiObject> pod = kubedirect::Materialize(msg, cache_);
+  if (!pod.ok()) {
+    // Dangling ReplicaSet pointer: informer lag; retry shortly.
+    const kubedirect::KdMessage retry = msg;
+    env_.engine.ScheduleAfter(Milliseconds(5), [this, retry] {
+      if (!crashed_) OnPodMessage(retry);
+    });
+    return;
+  }
+  env_.engine.ScheduleAfter(
+      env_.cost.kd_materialize,
+      [this, pod = std::move(*pod)]() mutable {
+        if (crashed_) return;
+        const std::string key = pod.Key();
+        materializing_.erase(key);
+        if (condemned_.erase(key) > 0) {
+          // Tombstoned while materializing: never start it; answer the
+          // (idempotent) termination.
+          if (upstream_) upstream_->SendRemoveNow(key);
+          return;
+        }
+        OnPodBound(std::move(pod));
+      });
+}
+
+void Kubelet::OnPodBound(ApiObject pod) {
+  if (model::GetNodeName(pod) != node_name_) return;
+  const std::string key = pod.Key();
+  const ApiObject* known = cache_.Get(key);
+  if (known != nullptr &&
+      model::GetPodPhase(*known) != model::PodPhase::kPending) {
+    return;  // already running/terminating; nothing to start
+  }
+  if (model::IsTerminating(pod)) return;
+  cache_.Upsert(std::move(pod));
+  if (starting_.count(key)) return;
+  StartSandbox(key);
+}
+
+void Kubelet::StartSandbox(const std::string& pod_key) {
+  starting_.insert(pod_key);
+  sandbox_queue_.push_back(pod_key);
+  start_times_[pod_key] = env_.engine.now();
+  env_.metrics.MarkStart("kubelet", env_.engine.now());
+  PumpSandboxQueue();
+}
+
+void Kubelet::PumpSandboxQueue() {
+  while (active_starts_ < sandbox_.concurrency && !sandbox_queue_.empty()) {
+    const std::string key = sandbox_queue_.front();
+    sandbox_queue_.pop_front();
+    if (!starting_.count(key)) continue;  // cancelled while queued
+    ++active_starts_;
+    env_.engine.ScheduleAfter(sandbox_.cold_start, [this, key] {
+      --active_starts_;
+      if (!crashed_ && starting_.count(key)) {
+        starting_.erase(key);
+        OnSandboxReady(key);
+      }
+      if (!crashed_) PumpSandboxQueue();
+    });
+  }
+}
+
+std::string Kubelet::AssignIp() {
+  // Unique across the cluster: the node's subnet (hashed from its
+  // name) plus a per-node counter — mirrors per-node pod CIDRs.
+  std::uint32_t subnet = 2166136261u;
+  for (char c : node_name_) {
+    subnet = (subnet ^ static_cast<unsigned char>(c)) * 16777619u;
+  }
+  const std::uint32_t n = ip_counter_++;
+  return StrFormat("10.%u.%u.%u:8080", (subnet >> 8) & 0xFF,
+                   (subnet ^ (n >> 8)) & 0xFF, n & 0xFF);
+}
+
+void Kubelet::OnSandboxReady(const std::string& pod_key) {
+  const ApiObject* pod = cache_.Get(pod_key);
+  if (pod == nullptr || model::IsTerminating(*pod)) return;
+  ApiObject running = *pod;
+  model::SetPodPhase(running, model::PodPhase::kRunning);
+  model::SetPodIp(running, AssignIp());
+  cache_.Upsert(running);
+  env_.metrics.Count("sandboxes_started");
+
+  if (mode_ == Mode::kKd && upstream_) {
+    // Soft-invalidate upstream: phase + IP (§4.2).
+    kubedirect::KdMessage delta;
+    delta.obj_key = pod_key;
+    delta.attrs.emplace("status.phase",
+                        kubedirect::KdValue::Literal("Running"));
+    delta.attrs.emplace("status.podIP",
+                        kubedirect::KdValue::Literal(
+                            model::GetPodIp(running)));
+    upstream_->SendSoftInvalidate(delta);
+  }
+  Publish(running);
+}
+
+void Kubelet::Publish(const ApiObject& pod) {
+  // Step ⑤: expose the ready pod through the API server so downstream
+  // routing/monitoring components (Endpoints controller, service mesh,
+  // Prometheus) see a standard Kubernetes pod — both modes.
+  const std::string key = pod.Key();
+  auto on_done = [this, key](StatusOr<ApiObject> result) {
+    if (!result.ok() || crashed_) return;
+    if (cache_.Get(key) == nullptr) {
+      // Terminated while the publish was in flight: the API object is
+      // an orphan — remove it immediately.
+      api_.Delete(kKindPod, key.substr(key.find('/') + 1), [](Status) {});
+      return;
+    }
+    published_.insert(key);
+    env_.metrics.Count("pods_published");
+    env_.metrics.MarkStop("kubelet", env_.engine.now());
+    auto started = start_times_.find(key);
+    if (started != start_times_.end()) {
+      // Per-pod sandbox-manager latency (bind arrival -> published):
+      // the isolated Fig. 9d measurement — immune to upstream lag.
+      env_.metrics.RecordDuration("kubelet_pod_latency",
+                                  env_.engine.now() - started->second);
+      start_times_.erase(started);
+    }
+  };
+  if (mode_ == Mode::kKd) {
+    // The pod was hidden from the API server until now: Create.
+    api_.Create(pod, std::move(on_done));
+    return;
+  }
+  // K8s mode: the object exists; update its status. Fetch-free
+  // optimistic update using our watch-fresh copy.
+  api_.Update(pod, [this, key, on_done](StatusOr<ApiObject> result) {
+    if (!result.ok() && !crashed_ &&
+        result.status().code() == StatusCode::kConflict) {
+      // Stale version: re-read then retry once the informer catches up.
+      api_.Get(kKindPod, key.substr(key.find('/') + 1),
+               [this, key](StatusOr<ApiObject> fresh) {
+                 if (!fresh.ok() || crashed_) return;
+                 const ApiObject* local = cache_.Get(key);
+                 if (local == nullptr) return;
+                 ApiObject merged = *fresh;
+                 merged.status = local->status;
+                 api_.Update(merged, [this, key](StatusOr<ApiObject> r2) {
+                   if (r2.ok()) {
+                     published_.insert(key);
+                     env_.metrics.Count("pods_published");
+                     env_.metrics.MarkStop("kubelet", env_.engine.now());
+                   }
+                 });
+               });
+      return;
+    }
+    on_done(std::move(result));
+  });
+}
+
+void Kubelet::Terminate(const std::string& pod_key, bool notify_upstream) {
+  const ApiObject* pod = cache_.Get(pod_key);
+  starting_.erase(pod_key);  // cancels a queued/in-flight sandbox start
+  if (pod == nullptr) {
+    if (materializing_.count(pod_key)) {
+      // The pod's forward message is mid-materialization; defer.
+      condemned_.insert(pod_key);
+    } else if (notify_upstream && mode_ == Mode::kKd && upstream_) {
+      // Unknown pod: the forward message was dropped in flight.
+      // Termination is idempotent — answer with the removal signal so
+      // the upstream settles (§4.3).
+      upstream_->SendRemoveNow(pod_key);
+    }
+    return;
+  }
+  env_.metrics.Count("pods_terminated");
+  cache_.Remove(pod_key);
+  const bool was_published = published_.erase(pod_key) > 0;
+  // The container takes kubelet_terminate to actually die; only then do
+  // the API delete and the upstream invalidation signal go out (§4.3).
+  env_.engine.ScheduleAfter(
+      env_.cost.kubelet_terminate, [this, pod_key, was_published,
+                                    notify_upstream] {
+        if (crashed_) return;
+        if (was_published) {
+          api_.Delete(kKindPod, pod_key.substr(pod_key.find('/') + 1),
+                      [](Status) {});
+        }
+        if (notify_upstream && mode_ == Mode::kKd && upstream_) {
+          // Immediate flush so synchronous preemption observes minimal
+          // latency.
+          upstream_->SendRemoveNow(pod_key);
+        }
+      });
+}
+
+void Kubelet::Evict(const std::string& pod_key) {
+  Terminate(pod_key, /*notify_upstream=*/mode_ == Mode::kKd);
+  if (mode_ == Mode::kK8s) {
+    // Stock eviction deletes the API object; controllers observe it.
+    api_.Delete(kKindPod, pod_key.substr(pod_key.find('/') + 1),
+                [](Status) {});
+  }
+}
+
+void Kubelet::DrainAllKdPods() {
+  std::vector<std::string> keys;
+  for (const ApiObject* pod : cache_.List(kKindPod)) {
+    keys.push_back(pod->Key());
+  }
+  for (const std::string& key : keys) {
+    // The Scheduler already assumed these terminated; no backward
+    // signal needed (and the link may be down anyway).
+    Terminate(key, /*notify_upstream=*/false);
+  }
+  env_.metrics.Count("nodes_drained");
+}
+
+std::size_t Kubelet::running_pods() const {
+  std::size_t n = 0;
+  for (const ApiObject* pod : cache_.List(kKindPod)) {
+    if (model::GetPodPhase(*pod) == model::PodPhase::kRunning) ++n;
+  }
+  return n;
+}
+
+void Kubelet::Crash() {
+  crashed_ = true;
+  cache_.Clear();
+  node_watch_cache_.Clear();
+  sandbox_queue_.clear();
+  starting_.clear();
+  start_times_.clear();
+  active_starts_ = 0;
+  published_.clear();
+  materializing_.clear();
+  condemned_.clear();
+  rs_informer_.Stop();
+  node_informer_.Stop();
+  if (node_watch_active_) {
+    env_.apiserver.Unwatch(node_watch_);
+    node_watch_active_ = false;
+  }
+  if (pod_watch_active_) {
+    env_.apiserver.Unwatch(pod_watch_);
+    pod_watch_active_ = false;
+  }
+  env_.network.CrashEndpoint(endpoint_.address());
+  if (upstream_) {
+    upstream_->Stop();
+    upstream_.reset();
+  }
+}
+
+void Kubelet::Restart() { Start(); }
+
+}  // namespace kd::controllers

@@ -1,0 +1,114 @@
+// The Kubelet — step ⑤ of the critical path (Fig. 1), the tail of the
+// narrow waist and the source of truth of the hierarchical cache.
+//
+// Receives bound pods (filtered watch in K8s mode; direct messages in
+// Kd mode), creates the sandbox through a configurable sandbox manager
+// model (stock containerd-style vs Dirigent's lean manager — the
+// K8s+/Kd+ baselines of Fig. 8), and *publishes* ready pods through
+// the API server in both modes: the paper's prototype keeps step ⑤ on
+// the API server for ecosystem compatibility, and the Kubelet's API
+// rate limits still apply (§7 "Stability").
+//
+// Termination: executes Tombstones, evictions, and node drains; every
+// removal emits the upstream invalidation signal that drives the
+// write-back cache (§4.2-4.3).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "apiserver/client.h"
+#include "controllers/types.h"
+#include "kubedirect/hierarchy.h"
+#include "runtime/cache.h"
+#include "runtime/env.h"
+#include "runtime/informer.h"
+
+namespace kd::controllers {
+
+// Sandbox-manager performance envelope (Fig. 8's "Sandbox Manager"
+// column): stock Kubelet/containerd vs Dirigent's custom manager.
+struct SandboxParams {
+  Duration cold_start;
+  int concurrency;
+
+  static SandboxParams Stock(const CostModel& cost) {
+    return {cost.kubelet_cold_start, cost.kubelet_startup_concurrency};
+  }
+  static SandboxParams Dirigent(const CostModel& cost) {
+    return {cost.dirigent_cold_start, cost.dirigent_startup_concurrency};
+  }
+};
+
+class Kubelet {
+ public:
+  Kubelet(runtime::Env& env, Mode mode, std::string node_name,
+          SandboxParams sandbox);
+  ~Kubelet();
+
+  void Start();
+  void Crash();
+  void Restart();
+
+  const std::string& node_name() const { return node_name_; }
+
+  // Local resource-pressure eviction (the trigger of Anomaly #1): the
+  // pod is terminated locally and the upstream is informed through the
+  // backward link — never resurrected.
+  void Evict(const std::string& pod_key);
+
+  // Observability.
+  std::size_t running_pods() const;
+  std::size_t pending_sandboxes() const { return sandbox_queue_.size(); }
+  const runtime::ObjectCache& cache() const { return cache_; }
+
+ private:
+  void OnPodMessage(const kubedirect::KdMessage& msg);
+  void OnPodBound(model::ApiObject pod);
+  void StartSandbox(const std::string& pod_key);
+  void PumpSandboxQueue();
+  void OnSandboxReady(const std::string& pod_key);
+  void Publish(const model::ApiObject& pod);
+  void Terminate(const std::string& pod_key, bool notify_upstream);
+  void DrainAllKdPods();
+  std::string AssignIp();
+
+  runtime::Env& env_;
+  Mode mode_;
+  std::string node_name_;
+  SandboxParams sandbox_;
+  runtime::ObjectCache cache_;  // its pods (+ ReplicaSets in Kd mode)
+  apiserver::ApiClient api_;
+  runtime::Informer rs_informer_;    // Kd mode: templates for materialization
+  runtime::Informer node_informer_;  // the drain signal (§4.3 Cancellation)
+
+  apiserver::WatchId pod_watch_ = 0;  // K8s mode filtered watch
+  bool pod_watch_active_ = false;
+  apiserver::WatchId node_watch_ = 0;  // Kd mode: own-Node drain watch
+  bool node_watch_active_ = false;
+
+  // Sandbox startup pipeline: bounded concurrency, FIFO admission.
+  std::deque<std::string> sandbox_queue_;
+  std::set<std::string> starting_;
+  std::map<std::string, Time> start_times_;  // bind arrival -> publish
+  int active_starts_ = 0;
+
+  std::set<std::string> published_;  // pod keys created/updated in the API
+  // Materialization-window bookkeeping: tombstones arriving while the
+  // pod's Upsert is being materialized are deferred, not answered as
+  // unknown.
+  std::set<std::string> materializing_;
+  std::set<std::string> condemned_;
+  std::uint32_t ip_counter_ = 0;
+
+  net::Endpoint endpoint_;
+  std::unique_ptr<kubedirect::HierarchyServer> upstream_;
+  runtime::ObjectCache node_watch_cache_;
+  bool crashed_ = false;
+};
+
+}  // namespace kd::controllers

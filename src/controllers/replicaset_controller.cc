@@ -1,0 +1,304 @@
+#include "controllers/replicaset_controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "model/objects.h"
+
+namespace kd::controllers {
+
+using model::ApiObject;
+using model::kKindPod;
+using model::kKindReplicaSet;
+
+ReplicaSetController::ReplicaSetController(runtime::Env& env, Mode mode)
+    : env_(env),
+      mode_(mode),
+      api_(env.engine, env.apiserver, "replicaset-controller",
+           env.cost.controller_qps, env.cost.controller_burst, &env.metrics),
+      informer_(api_, env.apiserver, rs_cache_),
+      pod_informer_(api_, env.apiserver, pod_cache_),
+      loop_(env.engine, env.cost, "replicaset", &env.metrics),
+      endpoint_(env.network, Addresses::ReplicaSetController()) {
+  loop_.SetReconciler([this](const std::string& key) { return Reconcile(key); });
+  rs_cache_.AddChangeHandler([this](const std::string& key,
+                                    const ApiObject* before,
+                                    const ApiObject* after) {
+    (void)before;
+    if (after != nullptr) loop_.Enqueue(key);
+  });
+  // Pod events re-trigger the owning ReplicaSet (replacement logic and
+  // expectation accounting).
+  pod_cache_.AddChangeHandler([this](const std::string& key,
+                                     const ApiObject* before,
+                                     const ApiObject* after) {
+    const ApiObject* obj = after != nullptr ? after : before;
+    if (obj == nullptr || obj->kind != kKindPod) return;
+    const std::string owner = model::GetOwnerName(*obj);
+    if (owner.empty()) return;
+    const std::string rs_key = ApiObject::MakeKey(kKindReplicaSet, owner);
+    if (mode_ == Mode::kK8s) {
+      // Expectations: an observed add/delete settles one in-flight op.
+      if (before == nullptr && after != nullptr) {
+        auto it = pending_creates_.find(rs_key);
+        if (it != pending_creates_.end() && it->second > 0) --it->second;
+      } else if (before != nullptr && after == nullptr) {
+        auto it = pending_deletes_.find(rs_key);
+        if (it != pending_deletes_.end() && it->second > 0) --it->second;
+      }
+    }
+    loop_.Enqueue(rs_key);
+  });
+}
+
+ReplicaSetController::~ReplicaSetController() {
+  if (downstream_) downstream_->Stop();
+  if (upstream_) upstream_->Stop();
+}
+
+void ReplicaSetController::Start() {
+  crashed_ = false;
+  ++session_;
+  pod_counter_ = 0;
+  informer_.Start(kKindReplicaSet);
+  if (mode_ == Mode::kK8s) {
+    pod_informer_.Start(kKindPod);
+    return;
+  }
+
+  kubedirect::HierarchyServer::Callbacks server_callbacks;
+  server_callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
+    OnScaleMessage(msg);
+  };
+  upstream_ = std::make_unique<kubedirect::HierarchyServer>(
+      env_.engine, env_.cost, endpoint_, link_scratch_,
+      /*kind_filter=*/"__none__", std::move(server_callbacks), &env_.metrics);
+  upstream_->Start();
+
+  kubedirect::HierarchyClient::Callbacks client_callbacks;
+  client_callbacks.on_ready = [this](const kubedirect::ChangeSet& changes) {
+    OnDownstreamReady(changes);
+  };
+  client_callbacks.on_remove = [this](const std::string& pod_key) {
+    OnDownstreamRemove(pod_key);
+  };
+  client_callbacks.on_soft_invalidate =
+      [](const kubedirect::KdMessage& delta) {
+        // Downstream progress (scheduling, readiness) already merged
+        // into pod_cache_ by the client; the RS controller is the head
+        // of the chain, so there is no one left to relay to.
+        (void)delta;
+      };
+  downstream_ = std::make_unique<kubedirect::HierarchyClient>(
+      env_.engine, env_.cost, endpoint_, Addresses::Scheduler(), pod_cache_,
+      /*kind_filter=*/kKindPod, nullptr, std::move(client_callbacks),
+      &env_.metrics);
+  downstream_->Start();
+}
+
+bool ReplicaSetController::link_ready() const {
+  return downstream_ != nullptr && downstream_->ready();
+}
+
+void ReplicaSetController::OnScaleMessage(const kubedirect::KdMessage& msg) {
+  auto it = msg.attrs.find("spec.replicas");
+  if (it == msg.attrs.end() || it->second.is_pointer()) return;
+  desired_[msg.obj_key] = it->second.literal().as_int();
+  loop_.Enqueue(msg.obj_key);
+}
+
+void ReplicaSetController::EnqueueOwnerOf(const std::string& pod_key) {
+  if (const ApiObject* pod = pod_cache_.Get(pod_key)) {
+    loop_.Enqueue(ApiObject::MakeKey(kKindReplicaSet,
+                                     model::GetOwnerName(*pod)));
+  }
+}
+
+void ReplicaSetController::OnDownstreamRemove(const std::string& pod_key) {
+  // The downstream is the source of truth: the pod is gone (evicted,
+  // preempted, or terminated via tombstone). Drop it, settle any
+  // tombstone, acknowledge, and reconcile the owner for replacement.
+  EnqueueOwnerOf(pod_key);
+  pod_cache_.Remove(pod_key);
+  pod_cache_.DropInvalid(pod_key);
+  tombstones_.Gc(pod_key);
+  if (downstream_) downstream_->SendAck(pod_key);
+}
+
+void ReplicaSetController::OnDownstreamReady(
+    const kubedirect::ChangeSet& changes) {
+  // Hard invalidation completed. Invalidated pods are hidden; as the
+  // head of the pod chain there is no further upstream to notify, so
+  // drop them outright and let reconcile recreate the deficit.
+  for (const std::string& key : changes.invalidated) {
+    // A tombstoned pod that the downstream no longer holds is exactly
+    // the "locally present but not downstream" GC condition of §4.3.
+    tombstones_.Gc(key);
+    pod_cache_.DropInvalid(key);
+  }
+  for (const std::string& key : changes.updated) EnqueueOwnerOf(key);
+  // Fast-forward termination intents that survived the disconnect.
+  tombstones_.ReplicateAll(
+      [this](const std::string& key) { downstream_->SendTombstone(key); });
+  // Re-reconcile everything we manage (cheap: level-triggered dedup).
+  for (const ApiObject* rs : rs_cache_.List(kKindReplicaSet)) {
+    loop_.Enqueue(rs->Key());
+  }
+}
+
+std::string ReplicaSetController::NextPodName(const std::string& rs_name) {
+  return StrFormat("%s-s%llu-p%llu", rs_name.c_str(),
+                   static_cast<unsigned long long>(session_),
+                   static_cast<unsigned long long>(pod_counter_++));
+}
+
+Duration ReplicaSetController::Reconcile(const std::string& rs_key) {
+  const ApiObject* rs = rs_cache_.Get(rs_key);
+  if (rs == nullptr) return 0;
+
+  std::int64_t desired;
+  if (mode_ == Mode::kKd) {
+    auto it = desired_.find(rs_key);
+    if (it == desired_.end()) return 0;
+    desired = it->second;
+  } else {
+    desired = model::GetReplicas(*rs);
+  }
+
+  // Count live pods owned by this RS, excluding tombstoned ones
+  // (awaiting termination — they neither count as capacity nor get
+  // replaced, §4.3's anti-thrashing rule).
+  std::vector<const ApiObject*> owned;
+  for (const ApiObject* pod : pod_cache_.List(kKindPod)) {
+    if (model::GetOwnerName(*pod) != rs->name) continue;
+    if (tombstones_.Has(pod->Key())) continue;
+    if (model::IsTerminating(*pod)) continue;
+    owned.push_back(pod);
+  }
+
+  std::int64_t effective = static_cast<std::int64_t>(owned.size());
+  if (mode_ == Mode::kK8s) {
+    effective += pending_creates_[rs_key];
+    effective -= pending_deletes_[rs_key];
+  }
+
+  env_.metrics.MarkStart("replicaset", env_.engine.now());
+  if (effective < desired) {
+    CreatePods(*rs, desired - effective);
+  } else if (effective > desired) {
+    // Newest-first victim selection (standard ReplicaSet behaviour).
+    std::sort(owned.begin(), owned.end(),
+              [](const ApiObject* a, const ApiObject* b) {
+                return a->name > b->name;
+              });
+    owned.resize(static_cast<std::size_t>(effective - desired));
+    DeletePods(*rs, std::move(owned));
+  }
+  env_.metrics.MarkStop("replicaset", env_.engine.now());
+  return 0;
+}
+
+void ReplicaSetController::CreatePods(const ApiObject& rs,
+                                      std::int64_t count) {
+  const std::string rs_key = rs.Key();
+  if (mode_ == Mode::kKd && (!downstream_ || !downstream_->ready())) {
+    // The forward link is down or mid-handshake. Creating now would
+    // produce pods invisible to the in-flight version comparison
+    // (phantoms the handshake can never invalidate), so hold off:
+    // on_ready re-enqueues every ReplicaSet and creation resumes.
+    return;
+  }
+  for (std::int64_t i = 0; i < count; ++i) {
+    ApiObject pod = model::MakePodFromTemplate(NextPodName(rs.name), rs);
+    env_.metrics.Count("pods_created");
+    if (mode_ == Mode::kKd) {
+      // Egress: populate the local cache first (§3.1), then forward.
+      // Dynamic materialization ships the pointer-compressed message;
+      // the Fig. 14 ablation ships the full object as literals.
+      kubedirect::KdMessage msg =
+          env_.cost.kd_naive_full_objects
+              ? kubedirect::FullObjectMessage(pod)
+              : kubedirect::PodCreateMessage(pod, rs_key);
+      pod_cache_.Upsert(std::move(pod));
+      downstream_->SendUpsert(msg);
+      continue;
+    }
+    ++pending_creates_[rs_key];
+    api_.Create(std::move(pod), [this, rs_key](StatusOr<ApiObject> result) {
+      if (!result.ok()) {
+        // Failed create: release the expectation and re-reconcile.
+        auto it = pending_creates_.find(rs_key);
+        if (it != pending_creates_.end() && it->second > 0) --it->second;
+        if (!crashed_) loop_.EnqueueAfter(rs_key, Milliseconds(5));
+      }
+      // Success settles through the pod informer (Added event).
+    });
+  }
+}
+
+void ReplicaSetController::DeletePods(
+    const ApiObject& rs, std::vector<const ApiObject*> victims) {
+  const std::string rs_key = rs.Key();
+  for (const ApiObject* victim : victims) {
+    const std::string pod_key = victim->Key();
+    env_.metrics.Count("pods_deleted");
+    if (mode_ == Mode::kKd) {
+      // Asynchronous termination via tombstone replication (§4.3).
+      tombstones_.Add(pod_key, env_.engine.now());
+      if (downstream_ && downstream_->ready()) {
+        downstream_->SendTombstone(pod_key);
+      }
+      continue;
+    }
+    ++pending_deletes_[rs_key];
+    api_.Delete(kKindPod, victim->name,
+                [this, rs_key](Status status) {
+                  if (!status.ok()) {
+                    auto it = pending_deletes_.find(rs_key);
+                    if (it != pending_deletes_.end() && it->second > 0) {
+                      --it->second;
+                    }
+                    if (!crashed_) loop_.EnqueueAfter(rs_key, Milliseconds(5));
+                  }
+                });
+  }
+}
+
+std::size_t ReplicaSetController::OwnedPodCount(
+    const std::string& rs_name) const {
+  std::size_t n = 0;
+  for (const ApiObject* pod : pod_cache_.List(kKindPod)) {
+    if (model::GetOwnerName(*pod) == rs_name &&
+        !tombstones_.Has(pod->Key())) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void ReplicaSetController::Crash() {
+  crashed_ = true;
+  desired_.clear();
+  tombstones_.Clear();  // session-scoped (§4.3)
+  pending_creates_.clear();
+  pending_deletes_.clear();
+  rs_cache_.Clear();
+  pod_cache_.Clear();
+  loop_.Clear();
+  informer_.Stop();
+  pod_informer_.Stop();
+  env_.network.CrashEndpoint(endpoint_.address());
+  if (downstream_) {
+    downstream_->Stop();
+    downstream_.reset();
+  }
+  if (upstream_) {
+    upstream_->Stop();
+    upstream_.reset();
+  }
+}
+
+void ReplicaSetController::Restart() { Start(); }
+
+}  // namespace kd::controllers

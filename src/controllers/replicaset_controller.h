@@ -1,0 +1,97 @@
+// The ReplicaSet controller — step ③ of the critical path (Fig. 1),
+// and the head of the Pod chain in the hierarchical cache (§4.2).
+//
+// Upscaling: creates Pods from the ReplicaSet template to match the
+// desired scale.
+//   K8s mode: one (rate-limited, ~17 KB) API Create per Pod, with
+//             client-go-style "expectations" to avoid double-creates
+//             while the informer catches up.
+//   Kd  mode: inserts the Pod into its local ephemeral cache (the
+//             egress populates the cache before sending, §3.1) and
+//             forwards a ~100 B pointer-compressed message downstream.
+//
+// Downscaling (§4.3): picks victims and — in Kd mode — registers
+// Tombstones that are replicated down the chain until the termination
+// lands; victims are excluded from the active count to avoid
+// thrashing. In K8s mode it issues API Deletes.
+//
+// Invalidation handling: when the downstream (Scheduler) loses pods
+// (crash, reset handshake, eviction), this controller observes the
+// removal, drops the pod, and its level-triggered reconcile recreates
+// the missing replicas — the recovery path of Anomaly #2.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "apiserver/client.h"
+#include "controllers/types.h"
+#include "kubedirect/hierarchy.h"
+#include "kubedirect/tombstone.h"
+#include "runtime/cache.h"
+#include "runtime/control_loop.h"
+#include "runtime/env.h"
+#include "runtime/informer.h"
+
+namespace kd::controllers {
+
+class ReplicaSetController {
+ public:
+  ReplicaSetController(runtime::Env& env, Mode mode);
+  ~ReplicaSetController();
+
+  void Start();
+  void Crash();
+  void Restart();
+
+  bool link_ready() const;
+
+  // Visible (non-tombstoned) pods owned by `rs_name` in this
+  // controller's view (test observability).
+  std::size_t OwnedPodCount(const std::string& rs_name) const;
+  const runtime::ObjectCache& pod_cache() const { return pod_cache_; }
+  std::size_t tombstone_count() const { return tombstones_.size(); }
+
+ private:
+  Duration Reconcile(const std::string& rs_name);
+  void CreatePods(const model::ApiObject& rs, std::int64_t count);
+  void DeletePods(const model::ApiObject& rs,
+                  std::vector<const model::ApiObject*> victims);
+  void OnScaleMessage(const kubedirect::KdMessage& msg);
+  void OnDownstreamRemove(const std::string& pod_key);
+  void OnDownstreamReady(const kubedirect::ChangeSet& changes);
+  void EnqueueOwnerOf(const std::string& pod_key);
+  std::string NextPodName(const std::string& rs_name);
+
+  runtime::Env& env_;
+  Mode mode_;
+  runtime::ObjectCache rs_cache_;   // ReplicaSets (informer)
+  runtime::ObjectCache pod_cache_;  // K8s: pod informer; Kd: ephemeral
+  apiserver::ApiClient api_;
+  runtime::Informer informer_;      // feeds rs_cache_
+  runtime::Informer pod_informer_;  // feeds pod_cache_ (K8s mode only)
+  runtime::ControlLoop loop_;
+
+  // Kd: desired replicas per RS key, fed by the Deployment controller.
+  std::map<std::string, std::int64_t> desired_;
+  kubedirect::TombstoneTracker tombstones_;
+
+  // K8s: in-flight creates/deletes per RS key (client-go expectations).
+  std::map<std::string, std::int64_t> pending_creates_;
+  std::map<std::string, std::int64_t> pending_deletes_;
+
+  // Pod naming: session epoch + counter keeps names unique across
+  // crash-restarts without persisted state.
+  std::uint64_t session_ = 0;
+  std::uint64_t pod_counter_ = 0;
+
+  net::Endpoint endpoint_;
+  runtime::ObjectCache link_scratch_;
+  std::unique_ptr<kubedirect::HierarchyServer> upstream_;
+  std::unique_ptr<kubedirect::HierarchyClient> downstream_;
+  bool crashed_ = false;
+};
+
+}  // namespace kd::controllers

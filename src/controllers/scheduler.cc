@@ -1,0 +1,482 @@
+#include "controllers/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "kubedirect/materialize.h"
+#include "model/objects.h"
+
+namespace kd::controllers {
+
+using model::ApiObject;
+using model::kKindNode;
+using model::kKindPod;
+using model::kKindReplicaSet;
+
+Scheduler::Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options)
+    : env_(env),
+      mode_(mode),
+      options_(options),
+      api_(env.engine, env.apiserver, "scheduler", env.cost.scheduler_qps,
+           env.cost.scheduler_burst, &env.metrics),
+      node_informer_(api_, env.apiserver, node_cache_),
+      pod_informer_(api_, env.apiserver, pod_cache_),
+      loop_(env.engine, env.cost, "scheduler", &env.metrics),
+      endpoint_(env.network, Addresses::Scheduler()) {
+  loop_.SetReconciler([this](const std::string& key) { return Reconcile(key); });
+
+  // Node discovery: capacity bookkeeping + (Kd) one link per Kubelet.
+  node_cache_.AddChangeHandler([this](const std::string& key,
+                                      const ApiObject* before,
+                                      const ApiObject* after) {
+    (void)key;
+    (void)before;
+    if (after == nullptr || after->kind != kKindNode) return;
+    NodeState& state = nodes_[after->name];
+    state.cpu_capacity = model::GetCpuMilli(*after);
+    if (mode_ == Mode::kKd && !crashed_) EnsureKubeletLink(after->name);
+  });
+
+  // Incremental allocation tracking driven by every visible pod
+  // mutation, regardless of which plane produced it.
+  pod_cache_.AddChangeHandler([this](const std::string& key,
+                                     const ApiObject* before,
+                                     const ApiObject* after) {
+    if (before != nullptr && before->kind == kKindPod) {
+      const std::string node = model::GetNodeName(*before);
+      if (!node.empty()) {
+        nodes_[node].cpu_allocated -= model::GetCpuMilli(*before);
+      }
+    }
+    if (after != nullptr && after->kind == kKindPod) {
+      const std::string node = model::GetNodeName(*after);
+      if (!node.empty()) {
+        nodes_[node].cpu_allocated += model::GetCpuMilli(*after);
+      }
+      // Unassigned pending pods need scheduling.
+      if (model::GetNodeName(*after).empty() &&
+          model::GetPodPhase(*after) == model::PodPhase::kPending) {
+        loop_.Enqueue(key);
+      }
+    }
+  });
+}
+
+Scheduler::~Scheduler() {
+  for (auto& [name, state] : nodes_) {
+    if (state.client) state.client->Stop();
+  }
+  if (upstream_) upstream_->Stop();
+}
+
+void Scheduler::Start() {
+  crashed_ = false;
+  upstream_started_ = false;
+  nodes_synced_ = false;
+  node_informer_.Start(kKindNode, [this] {
+    nodes_synced_ = true;
+    if (mode_ != Mode::kKd) return;
+    for (const ApiObject* node : node_cache_.List(kKindNode)) {
+      EnsureKubeletLink(node->name);
+    }
+    MaybeStartUpstream();
+  });
+  if (mode_ == Mode::kK8s) {
+    pod_informer_.Start(kKindPod);
+    return;
+  }
+  // Kd mode: ReplicaSets are cached alongside pods so that incoming
+  // pointer-compressed pod messages can be materialized (§3.2); the
+  // handshake kind filter keeps them out of the pod state exchange.
+  pod_informer_.Start(kKindReplicaSet);
+
+  kubedirect::HierarchyServer::Callbacks server_callbacks;
+  server_callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
+    OnPodMessage(msg);
+  };
+  server_callbacks.on_tombstone = [this](const std::string& key) {
+    OnTombstone(key);
+  };
+  server_callbacks.on_ack = [this](const std::string& key) {
+    pod_cache_.DropInvalid(key);
+  };
+  server_callbacks.on_upstream_connected = [this] {
+    // Hard invalidation supersedes pending soft invalidations: the new
+    // upstream just learned our full visible state, so invalid-marked
+    // leftovers can go.
+    for (const std::string& key : pod_cache_.InvalidKeys()) {
+      pod_cache_.DropInvalid(key);
+    }
+  };
+  upstream_ = std::make_unique<kubedirect::HierarchyServer>(
+      env_.engine, env_.cost, endpoint_, pod_cache_,
+      /*kind_filter=*/kKindPod, std::move(server_callbacks), &env_.metrics);
+  MaybeStartUpstream();
+}
+
+bool Scheduler::DownstreamSettled() const {
+  if (!nodes_synced_) return false;
+  for (const auto& [name, state] : nodes_) {
+    if (state.cancelled) continue;
+    if (!state.client || !state.client->ready()) return false;
+  }
+  return true;
+}
+
+void Scheduler::MaybeStartUpstream() {
+  if (upstream_started_ || !upstream_ || crashed_) return;
+  if (!DownstreamSettled()) return;
+  upstream_started_ = true;
+  upstream_->Start();
+}
+
+void Scheduler::EnsureKubeletLink(const std::string& node_name) {
+  NodeState& state = nodes_[node_name];
+  if (state.client) return;
+  kubedirect::HierarchyClient::Callbacks callbacks;
+  callbacks.on_ready = [this, node_name](const kubedirect::ChangeSet& c) {
+    OnKubeletReady(node_name, c);
+  };
+  callbacks.on_remove = [this, node_name](const std::string& key) {
+    OnKubeletRemove(node_name, key);
+  };
+  callbacks.on_soft_invalidate = [this](const kubedirect::KdMessage& delta) {
+    // Relay the Kubelet's progress (Running phase, pod IP) further
+    // upstream so the whole chain converges on one representation.
+    if (upstream_) upstream_->SendSoftInvalidate(delta);
+  };
+  callbacks.on_connect_failed = [this, node_name] {
+    NodeState& s = nodes_[node_name];
+    ++s.consecutive_failures;
+    if (options_.cancel_after_failures > 0 && !s.cancelled &&
+        s.consecutive_failures >= options_.cancel_after_failures) {
+      CancelNode(node_name);
+    }
+  };
+  state.client = std::make_unique<kubedirect::HierarchyClient>(
+      env_.engine, env_.cost, endpoint_, Addresses::Kubelet(node_name),
+      pod_cache_, /*kind_filter=*/kKindPod,
+      [node_name](const ApiObject& obj) {
+        return model::GetNodeName(obj) == node_name;
+      },
+      std::move(callbacks), &env_.metrics);
+  state.client->Start();
+}
+
+bool Scheduler::KubeletLinkReady(const std::string& node_name) const {
+  auto it = nodes_.find(node_name);
+  return it != nodes_.end() && it->second.client != nullptr &&
+         it->second.client->ready();
+}
+
+std::int64_t Scheduler::AllocatedCpuOn(const std::string& node_name) const {
+  auto it = nodes_.find(node_name);
+  return it == nodes_.end() ? 0 : it->second.cpu_allocated;
+}
+
+void Scheduler::OnPodMessage(const kubedirect::KdMessage& msg) {
+  materializing_.insert(msg.obj_key);
+  StatusOr<ApiObject> pod = kubedirect::Materialize(msg, pod_cache_);
+  if (!pod.ok()) {
+    // Usually a dangling ReplicaSet pointer: the informer has not yet
+    // delivered the parent. Retry shortly.
+    const kubedirect::KdMessage retry = msg;
+    env_.engine.ScheduleAfter(Milliseconds(5), [this, retry] {
+      if (!crashed_) OnPodMessage(retry);
+    });
+    return;
+  }
+  // Charge dynamic materialization (§3.2).
+  env_.engine.ScheduleAfter(env_.cost.kd_materialize, [this,
+                                                       pod = std::move(*pod)]()
+                                                          mutable {
+    if (crashed_) return;
+    const std::string key = pod.Key();
+    materializing_.erase(key);
+    const bool condemned = tombstones_.Has(key);
+    pod_cache_.Upsert(std::move(pod));
+    if (condemned) {
+      // Condemned before it materialized: execute the termination now
+      // that the pod exists locally (§4.3).
+      tombstones_.Gc(key);
+      OnTombstone(key);
+    }
+  });
+}
+
+void Scheduler::OnTombstone(const std::string& pod_key) {
+  const ApiObject* pod = pod_cache_.Get(pod_key);
+  if (pod == nullptr) {
+    if (materializing_.count(pod_key)) {
+      // The pod's Upsert is mid-materialization (same-link FIFO keeps
+      // upsert before tombstone): record the intent; the apply step
+      // executes it.
+      tombstones_.Add(pod_key, env_.engine.now());
+      return;
+    }
+    // Unknown pod: its forward message was dropped in flight and can
+    // never arrive (FIFO, no retransmission). Termination is
+    // idempotent (§4.3) — answer with the removal signal so upstream
+    // copies (if any) settle.
+    ForwardRemoveUpstream(pod_key);
+    return;
+  }
+  const std::string node = model::GetNodeName(*pod);
+  if (node.empty()) {
+    // Locally present, not downstream: we own the termination (§4.3).
+    pod_cache_.Remove(pod_key);
+    ForwardRemoveUpstream(pod_key);
+    return;
+  }
+  tombstones_.Add(pod_key, env_.engine.now());
+  NodeState& state = nodes_[node];
+  if (state.client && state.client->ready()) {
+    state.client->SendTombstone(pod_key);
+  }
+}
+
+void Scheduler::OnKubeletRemove(const std::string& node_name,
+                                const std::string& pod_key) {
+  pod_cache_.Remove(pod_key);  // allocation freed by the change handler
+  pod_cache_.DropInvalid(pod_key);
+  tombstones_.Gc(pod_key);
+  ForwardRemoveUpstream(pod_key);
+  NodeState& state = nodes_[node_name];
+  if (state.client) state.client->SendAck(pod_key);
+  ResolvePreemption(pod_key, OkStatus());
+}
+
+void Scheduler::OnKubeletReady(const std::string& node_name,
+                               const kubedirect::ChangeSet& changes) {
+  NodeState& state = nodes_[node_name];
+  state.consecutive_failures = 0;
+  MaybeStartUpstream();
+  if (state.cancelled) {
+    // The node is reachable again: lift the invalid mark.
+    state.cancelled = false;
+    if (const ApiObject* node = node_cache_.Get(
+            ApiObject::MakeKey(kKindNode, node_name))) {
+      ApiObject updated = *node;
+      model::SetNodeInvalid(updated, false);
+      api_.Update(std::move(updated), [](StatusOr<ApiObject>) {});
+    }
+  }
+  // Objects the Kubelet knows better than us: tell the upstream.
+  for (const std::string& key : changes.updated) {
+    if (const ApiObject* pod = pod_cache_.Get(key)) {
+      if (upstream_) {
+        upstream_->SendSoftInvalidate(kubedirect::FullObjectMessage(*pod));
+      }
+    }
+  }
+  // Objects the Kubelet no longer has: invalidate upstream; entries
+  // stay hidden until the upstream acks (or the next hard handshake).
+  // Any termination intent for them is settled — the pod is gone.
+  for (const std::string& key : changes.invalidated) {
+    tombstones_.Gc(key);
+    ForwardRemoveUpstream(key);
+  }
+  // Fast-forward termination intents for this node (§4.3).
+  tombstones_.ReplicateAll([this, &node_name,
+                            &state](const std::string& key) {
+    const ApiObject* pod = pod_cache_.Get(key);
+    if (pod != nullptr && model::GetNodeName(*pod) == node_name) {
+      state.client->SendTombstone(key);
+    }
+  });
+}
+
+void Scheduler::ForwardRemoveUpstream(const std::string& pod_key) {
+  if (upstream_ == nullptr || !upstream_->SendRemove(pod_key)) {
+    // No upstream connected: the next handshake carries the removal
+    // implicitly (the pod is hidden from our version map); drop the
+    // invalid-marked entry now.
+    pod_cache_.DropInvalid(pod_key);
+  }
+}
+
+void Scheduler::ResolvePreemption(const std::string& pod_key, Status status) {
+  auto it = pending_preemptions_.find(pod_key);
+  if (it == pending_preemptions_.end()) return;
+  auto done = std::move(it->second);
+  pending_preemptions_.erase(it);
+  done(status);
+}
+
+std::string Scheduler::PickNode(const ApiObject& pod, Duration& scan_cost) {
+  const std::int64_t cpu = model::GetCpuMilli(pod);
+  scan_cost = env_.cost.scheduler_per_node_scan *
+              static_cast<Duration>(std::max<std::size_t>(nodes_.size(), 1));
+  const NodeState* best = nullptr;
+  const std::string* best_name = nullptr;
+  for (const auto& [name, state] : nodes_) {
+    if (state.cancelled || state.cpu_capacity <= 0) continue;
+    // Kd mode: never bind toward a Kubelet whose link is down or mid
+    // handshake — the binding would be invisible to the in-flight
+    // version comparison and the pod would strand until the next
+    // failure. (K8s mode has no links; bindings go via the API.)
+    if (mode_ == Mode::kKd && (!state.client || !state.client->ready())) {
+      continue;
+    }
+    if (state.cpu_allocated + cpu > state.cpu_capacity) continue;
+    if (best == nullptr || state.cpu_allocated < best->cpu_allocated) {
+      best = &state;
+      best_name = &name;
+    }
+  }
+  return best_name == nullptr ? "" : *best_name;
+}
+
+Duration Scheduler::Reconcile(const std::string& pod_key) {
+  const ApiObject* pod = pod_cache_.Get(pod_key);
+  if (pod == nullptr) return 0;
+  if (!model::GetNodeName(*pod).empty()) return 0;  // already bound
+  if (model::IsTerminating(*pod)) return 0;
+  if (tombstones_.Has(pod_key)) return 0;
+
+  env_.metrics.MarkStart("scheduler", env_.engine.now());
+  Duration scan_cost = 0;
+  const std::string node = PickNode(*pod, scan_cost);
+  const Duration cost = scan_cost + env_.cost.scheduler_per_pod;
+  if (node.empty()) {
+    // No feasible node: retry under the assumption capacity frees up.
+    loop_.EnqueueAfter(pod_key, Milliseconds(100));
+    return cost;
+  }
+
+  if (mode_ == Mode::kKd) {
+    ApiObject bound = *pod;
+    model::SetNodeName(bound, node);
+    const std::string rs_key =
+        ApiObject::MakeKey(kKindReplicaSet, model::GetOwnerName(bound));
+    pod_cache_.Upsert(bound);  // egress fills the local cache first
+    NodeState& state = nodes_[node];
+    if (state.client && state.client->ready()) {
+      // Forward the pod + binding to the Kubelet (pointer-compressed,
+      // or full-object under the Fig. 14 ablation).
+      kubedirect::KdMessage msg;
+      if (env_.cost.kd_naive_full_objects) {
+        msg = kubedirect::FullObjectMessage(bound);
+      } else {
+        msg = kubedirect::PodCreateMessage(bound, rs_key);
+        msg.attrs.emplace("spec.nodeName", kubedirect::KdValue::Literal(node));
+      }
+      state.client->SendUpsert(msg);
+    }
+    // Soft-invalidate the upstream with the binding (§4.2).
+    if (upstream_) {
+      kubedirect::KdMessage delta;
+      delta.obj_key = pod_key;
+      delta.attrs.emplace("spec.nodeName", kubedirect::KdValue::Literal(node));
+      upstream_->SendSoftInvalidate(delta);
+    }
+    env_.metrics.MarkStop("scheduler", env_.engine.now() + cost);
+    return cost;
+  }
+
+  // K8s mode: bind through the API server.
+  ApiObject bound = *pod;
+  model::SetNodeName(bound, node);
+  pod_cache_.Upsert(bound);  // optimistic local bind (allocation tracked)
+  api_.Update(bound, [this, pod_key](StatusOr<ApiObject> result) {
+    env_.metrics.MarkStop("scheduler", env_.engine.now());
+    if (!result.ok() && !crashed_) {
+      // Conflict: the informer will refresh the pod; retry.
+      loop_.EnqueueAfter(pod_key, Milliseconds(5));
+    }
+  });
+  return cost;
+}
+
+void Scheduler::Preempt(const std::string& pod_key,
+                        std::function<void(Status)> done) {
+  if (mode_ == Mode::kK8s) {
+    const ApiObject* pod = pod_cache_.Get(pod_key);
+    if (pod == nullptr) {
+      done(NotFoundError(pod_key));
+      return;
+    }
+    api_.Delete(kKindPod, pod->name,
+                [done = std::move(done)](Status s) { done(s); });
+    return;
+  }
+  const ApiObject* pod = pod_cache_.Get(pod_key);
+  if (pod == nullptr) {
+    done(NotFoundError(pod_key));
+    return;
+  }
+  const std::string node = model::GetNodeName(*pod);
+  if (node.empty()) {
+    // Not downstream: synchronous by construction.
+    pod_cache_.Remove(pod_key);
+    ForwardRemoveUpstream(pod_key);
+    done(OkStatus());
+    return;
+  }
+  NodeState& state = nodes_[node];
+  if (!state.client || !state.client->ready()) {
+    done(UnavailableError("kubelet link down for " + node));
+    return;
+  }
+  tombstones_.Add(pod_key, env_.engine.now());
+  pending_preemptions_[pod_key] = std::move(done);
+  // Synchronous termination: immediate flush; the Kubelet's Remove
+  // signal resolves the preemption (§4.3, §6.3).
+  state.client->SendTombstoneNow(pod_key);
+}
+
+void Scheduler::CancelNode(const std::string& node_name) {
+  NodeState& state = nodes_[node_name];
+  if (state.cancelled) return;
+  state.cancelled = true;
+  // Mark the Node invalid through the API server: the Kubelet drains
+  // all KubeDirect pods when it observes the mark (§4.3).
+  if (const ApiObject* node =
+          node_cache_.Get(ApiObject::MakeKey(kKindNode, node_name))) {
+    ApiObject updated = *node;
+    model::SetNodeInvalid(updated, true);
+    api_.Update(std::move(updated), [](StatusOr<ApiObject>) {});
+  }
+  // Assume the node's pods irreversibly terminated; invalidate upstream.
+  std::vector<std::string> doomed;
+  for (const ApiObject* pod : pod_cache_.List(kKindPod)) {
+    if (model::GetNodeName(*pod) == node_name) doomed.push_back(pod->Key());
+  }
+  for (const std::string& key : doomed) {
+    pod_cache_.Remove(key);
+    tombstones_.Gc(key);
+    ForwardRemoveUpstream(key);
+    ResolvePreemption(key, OkStatus());
+  }
+  env_.metrics.Count("nodes_cancelled");
+  // An unreachable node no longer blocks the downstream-first gate.
+  MaybeStartUpstream();
+}
+
+void Scheduler::Crash() {
+  crashed_ = true;
+  tombstones_.Clear();
+  materializing_.clear();
+  for (auto& [key, done] : pending_preemptions_) {
+    done(UnavailableError("scheduler crashed"));
+  }
+  pending_preemptions_.clear();
+  node_cache_.Clear();
+  pod_cache_.Clear();
+  loop_.Clear();
+  node_informer_.Stop();
+  pod_informer_.Stop();
+  env_.network.CrashEndpoint(endpoint_.address());
+  for (auto& [name, state] : nodes_) {
+    if (state.client) state.client->Stop();
+  }
+  nodes_.clear();
+  if (upstream_) {
+    upstream_->Stop();
+    upstream_.reset();
+  }
+}
+
+void Scheduler::Restart() { Start(); }
+
+}  // namespace kd::controllers

@@ -1,0 +1,35 @@
+// Shared controller definitions: operating mode and the endpoint
+// naming scheme for the KubeDirect links of the narrow waist.
+#pragma once
+
+#include <string>
+
+namespace kd::controllers {
+
+// How a controller exchanges state with its neighbours:
+//   kK8s — stock Kubernetes: all state flows through the API server
+//          (write-notify indirection, rate limits, etcd persistence);
+//   kKd  — KubeDirect: direct message passing over pairwise links,
+//          API server used only where the paper's prototype keeps it
+//          (pod publication by the Kubelet, node-invalid marks).
+enum class Mode { kK8s, kKd };
+
+inline const char* ModeName(Mode mode) {
+  return mode == Mode::kK8s ? "K8s" : "Kd";
+}
+
+// Endpoint addresses of the narrow-waist controllers on the simulated
+// network (Kd links connect upstream -> downstream).
+struct Addresses {
+  static std::string Autoscaler() { return "kd.autoscaler"; }
+  static std::string DeploymentController() { return "kd.deployment"; }
+  static std::string ReplicaSetController() { return "kd.replicaset"; }
+  static std::string Scheduler() { return "kd.scheduler"; }
+  static std::string Kubelet(const std::string& node) {
+    return "kd.kubelet." + node;
+  }
+  static std::string EndpointsController() { return "kd.endpoints"; }
+  static std::string Gateway() { return "kd.gateway"; }
+};
+
+}  // namespace kd::controllers

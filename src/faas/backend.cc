@@ -1,0 +1,219 @@
+#include "faas/backend.h"
+
+#include "common/strings.h"
+#include "model/objects.h"
+
+namespace kd::faas {
+
+using model::ApiObject;
+using model::kKindPod;
+
+// --- ClusterBackend ----------------------------------------------------
+
+ClusterBackend::ClusterBackend(cluster::Cluster& cluster)
+    : cluster_(cluster),
+      limiter_(cluster.engine(), cluster.config().cost.controller_qps,
+               cluster.config().cost.controller_burst) {
+  watch_ = cluster_.apiserver().Watch(
+      kKindPod,
+      [this](const apiserver::WatchEvent& event) { OnPodEvent(event); });
+}
+
+ClusterBackend::~ClusterBackend() { cluster_.apiserver().Unwatch(watch_); }
+
+void ClusterBackend::RegisterFunction(const FunctionSpec& spec) {
+  cluster_.RegisterFunction(spec.name, spec.cpu_milli, spec.memory_mb);
+  endpoints_[spec.name];
+}
+
+void ClusterBackend::ScaleTo(const std::string& function, std::int64_t n) {
+  cluster_.ScaleTo(function, n);
+}
+
+void ClusterBackend::SetEndpointSink(EndpointSink sink) {
+  sink_ = std::move(sink);
+}
+
+void ClusterBackend::OnPodEvent(const apiserver::WatchEvent& event) {
+  const ApiObject& pod = event.object;
+  const std::string function = model::GetLabel(pod, "app");
+  if (function.empty() || endpoints_.count(function) == 0) return;
+  std::set<std::string>& addresses = endpoints_[function];
+  bool changed = false;
+  switch (event.type) {
+    case apiserver::WatchEventType::kAdded:
+    case apiserver::WatchEventType::kModified:
+      if (model::GetPodPhase(pod) == model::PodPhase::kRunning &&
+          !model::GetPodIp(pod).empty()) {
+        changed = addresses.insert(model::GetPodIp(pod)).second;
+        if (changed) pod_to_function_[pod.Key()] = function;
+      } else if (model::IsTerminating(pod)) {
+        changed = addresses.erase(model::GetPodIp(pod)) > 0;
+      }
+      break;
+    case apiserver::WatchEventType::kDeleted:
+      changed = addresses.erase(model::GetPodIp(pod)) > 0;
+      pod_to_function_.erase(pod.Key());
+      break;
+  }
+  if (changed) MarkDirty(function);
+}
+
+void ClusterBackend::MarkDirty(const std::string& function) {
+  if (!dirty_.insert(function).second) return;  // publish already pending
+  const CostModel& cost = cluster_.config().cost;
+  if (cluster_.config().mode == controllers::Mode::kKd) {
+    // Direct streaming (§5): sub-millisecond, no API write.
+    cluster_.engine().ScheduleAfter(cost.kd_endpoint_stream_latency,
+                                    [this, function] {
+                                      PublishEndpoints(function);
+                                    });
+    return;
+  }
+  // K8s path: batch pod changes for one Endpoints object write, pay the
+  // controller rate limit plus the API round trip + watch delivery.
+  cluster_.engine().ScheduleAfter(
+      cost.endpoints_batch_window, [this, function, &cost] {
+        limiter_.Acquire([this, function, &cost] {
+          // One Endpoints update: client+server serialization, etcd
+          // persist, watch to the data plane. Approximated with the
+          // API-call constants rather than a full object round trip.
+          const Duration api_call = cost.api_network_latency * 2 +
+                                    cost.api_processing +
+                                    cost.etcd_persist_latency +
+                                    cost.watch_delivery_latency;
+          cluster_.engine().ScheduleAfter(api_call, [this, function] {
+            PublishEndpoints(function);
+          });
+        });
+      });
+}
+
+void ClusterBackend::PublishEndpoints(const std::string& function) {
+  dirty_.erase(function);
+  if (!sink_) return;
+  const std::set<std::string>& addresses = endpoints_[function];
+  sink_(function,
+        std::vector<std::string>(addresses.begin(), addresses.end()));
+}
+
+// --- DirigentBackend ---------------------------------------------------
+
+DirigentBackend::DirigentBackend(sim::Engine& engine, const CostModel& cost,
+                                 int num_nodes, std::int64_t node_cpu_milli)
+    : engine_(engine), cost_(cost) {
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+  for (auto& node : nodes_) node.cpu_free = node_cpu_milli;
+}
+
+void DirigentBackend::RegisterFunction(const FunctionSpec& spec) {
+  functions_[spec.name] = spec;
+  by_function_[spec.name];
+}
+
+void DirigentBackend::SetEndpointSink(EndpointSink sink) {
+  sink_ = std::move(sink);
+}
+
+std::string DirigentBackend::NewInstanceId(const std::string& function) {
+  return StrFormat("%s-i%llu", function.c_str(),
+                   static_cast<unsigned long long>(next_id_++));
+}
+
+void DirigentBackend::ScaleTo(const std::string& function, std::int64_t n) {
+  auto fn_it = functions_.find(function);
+  if (fn_it == functions_.end()) return;
+  const FunctionSpec& spec = fn_it->second;
+  std::set<std::string>& ids = by_function_[function];
+
+  std::int64_t live = 0;
+  for (const std::string& id : ids) {
+    if (!instances_[id].stopping) ++live;
+  }
+
+  if (live < n) {
+    for (std::int64_t i = live; i < n; ++i) {
+      // Centralized placement: cheapest-fit over in-memory state.
+      int best = -1;
+      for (std::size_t k = 0; k < nodes_.size(); ++k) {
+        if (nodes_[k].cpu_free < spec.cpu_milli) continue;
+        if (best < 0 || nodes_[k].cpu_free > nodes_[best].cpu_free) {
+          best = static_cast<int>(k);
+        }
+      }
+      if (best < 0) break;  // out of capacity
+      nodes_[best].cpu_free -= spec.cpu_milli;
+      const std::string id = NewInstanceId(function);
+      instances_[id] = Instance{function, best, false, false};
+      ids.insert(id);
+      // Direct RPC to the sandbox manager, then the lean cold start.
+      const int node_index = best;
+      engine_.ScheduleAfter(cost_.dirigent_rpc_latency, [this, id,
+                                                         node_index] {
+        nodes_[static_cast<std::size_t>(node_index)].start_queue.push_back(id);
+        PumpNode(node_index);
+      });
+    }
+  } else if (live > n) {
+    // Stop the newest instances first.
+    std::vector<std::string> ordered(ids.rbegin(), ids.rend());
+    std::int64_t excess = live - n;
+    for (const std::string& id : ordered) {
+      if (excess == 0) break;
+      Instance& instance = instances_[id];
+      if (instance.stopping) continue;
+      instance.stopping = true;
+      --excess;
+      engine_.ScheduleAfter(cost_.dirigent_rpc_latency, [this, id] {
+        auto it = instances_.find(id);
+        if (it == instances_.end()) return;
+        const std::string fn = it->second.function;
+        if (it->second.node >= 0) {
+          nodes_[static_cast<std::size_t>(it->second.node)].cpu_free +=
+              functions_[fn].cpu_milli;
+        }
+        by_function_[fn].erase(id);
+        instances_.erase(it);
+        NotifyEndpoints(fn);
+      });
+    }
+  }
+}
+
+void DirigentBackend::PumpNode(int node_index) {
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  while (node.active_starts < cost_.dirigent_startup_concurrency &&
+         !node.start_queue.empty()) {
+    const std::string id = node.start_queue.front();
+    node.start_queue.erase(node.start_queue.begin());
+    auto it = instances_.find(id);
+    if (it == instances_.end() || it->second.stopping) continue;
+    ++node.active_starts;
+    engine_.ScheduleAfter(cost_.dirigent_cold_start, [this, id, node_index] {
+      --nodes_[static_cast<std::size_t>(node_index)].active_starts;
+      auto it2 = instances_.find(id);
+      if (it2 != instances_.end() && !it2->second.stopping) {
+        it2->second.ready = true;
+        ++instances_started_;
+        NotifyEndpoints(it2->second.function);
+      }
+      PumpNode(node_index);
+    });
+  }
+}
+
+void DirigentBackend::NotifyEndpoints(const std::string& function) {
+  if (!sink_) return;
+  std::vector<std::string> addresses;
+  for (const std::string& id : by_function_[function]) {
+    const Instance& instance = instances_[id];
+    if (instance.ready && !instance.stopping) addresses.push_back(id);
+  }
+  engine_.ScheduleAfter(
+      cost_.dirigent_rpc_latency,
+      [this, function, addresses = std::move(addresses)] {
+        sink_(function, addresses);
+      });
+}
+
+}  // namespace kd::faas

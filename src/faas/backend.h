@@ -1,0 +1,95 @@
+// Backend implementations for the Fig. 8b baseline matrix.
+//
+// ClusterBackend drives the Kubernetes/KubeDirect narrow waist
+// (Cluster); its endpoint discovery models §5's Pod-discovery path:
+//   K8s  — the Endpoints controller watches Pods, batches changes and
+//          publishes an Endpoints object through the (rate-limited)
+//          API server; kube-proxies/gateways learn via watch;
+//   Kd   — the optimized Endpoints controller streams endpoints
+//          directly to the data plane (read-only transformation, no
+//          state-management machinery needed).
+//
+// DirigentBackend is the clean-slate comparator: a centralized
+// in-memory control plane talking straight to lean sandbox managers —
+// fast, but outside the Kubernetes ecosystem.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "apiserver/rate_limiter.h"
+#include "cluster/cluster.h"
+#include "faas/types.h"
+
+namespace kd::faas {
+
+class ClusterBackend : public Backend {
+ public:
+  explicit ClusterBackend(cluster::Cluster& cluster);
+  ~ClusterBackend() override;
+
+  void RegisterFunction(const FunctionSpec& spec) override;
+  void ScaleTo(const std::string& function, std::int64_t n) override;
+  void SetEndpointSink(EndpointSink sink) override;
+
+ private:
+  void OnPodEvent(const apiserver::WatchEvent& event);
+  void PublishEndpoints(const std::string& function);
+  void MarkDirty(const std::string& function);
+
+  cluster::Cluster& cluster_;
+  EndpointSink sink_;
+  apiserver::WatchId watch_ = 0;
+  // function -> address set (current ready endpoints).
+  std::map<std::string, std::set<std::string>> endpoints_;
+  std::map<std::string, std::string> pod_to_function_;
+  std::set<std::string> dirty_;  // functions with a pending publish
+  // K8s path: Endpoints API writes share the controller rate limit.
+  apiserver::TokenBucket limiter_;
+};
+
+// The clean-slate Dirigent control plane: centralized scheduler state,
+// direct sandbox-manager RPCs, no API server in the loop.
+class DirigentBackend : public Backend {
+ public:
+  DirigentBackend(sim::Engine& engine, const CostModel& cost, int num_nodes,
+                  std::int64_t node_cpu_milli = 10'000);
+
+  void RegisterFunction(const FunctionSpec& spec) override;
+  void ScaleTo(const std::string& function, std::int64_t n) override;
+  void SetEndpointSink(EndpointSink sink) override;
+
+  std::uint64_t instances_started() const { return instances_started_; }
+
+ private:
+  struct Node {
+    std::int64_t cpu_free;
+    // Sandbox-manager startup pipeline (bounded concurrency).
+    int active_starts = 0;
+    std::vector<std::string> start_queue;  // instance ids
+  };
+  struct Instance {
+    std::string function;
+    int node = -1;
+    bool ready = false;
+    bool stopping = false;
+  };
+
+  void PumpNode(int node_index);
+  void NotifyEndpoints(const std::string& function);
+  std::string NewInstanceId(const std::string& function);
+
+  sim::Engine& engine_;
+  const CostModel& cost_;
+  EndpointSink sink_;
+  std::vector<Node> nodes_;
+  std::map<std::string, FunctionSpec> functions_;
+  std::map<std::string, Instance> instances_;  // id -> instance
+  std::map<std::string, std::set<std::string>> by_function_;  // fn -> ids
+  std::uint64_t next_id_ = 0;
+  std::uint64_t instances_started_ = 0;
+};
+
+}  // namespace kd::faas

@@ -1,0 +1,88 @@
+// The FaaS gateway / request router (the downstream data plane of
+// Fig. 2): routes invocations to ready instances, queues excess
+// requests until upscaling delivers capacity ("cold starts"), and
+// records the per-request metrics of §6.2.
+//
+// Instances are identified by their endpoint address (pod IP). Each
+// instance serves `concurrency` requests at once; a request occupies a
+// slot for its requested duration (the SQRTSD busy loop of the paper's
+// workload).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/time.h"
+#include "faas/types.h"
+#include "sim/engine.h"
+
+namespace kd::faas {
+
+class Gateway {
+ public:
+  Gateway(sim::Engine& engine, Duration route_latency = MicrosecondsF(200));
+
+  void RegisterFunction(const FunctionSpec& spec);
+
+  // Full-list endpoint update from the discovery path (Backend sink).
+  void UpdateEndpoints(const std::string& function,
+                       const std::vector<std::string>& addresses);
+
+  // A request arrives. Dispatches immediately if an instance has a
+  // free slot; otherwise queues (the request will be started when
+  // capacity appears — a cold start if that capacity is a new
+  // instance).
+  void Invoke(Invocation inv);
+
+  // Demand signal for the autoscaler: executing + queued requests.
+  std::int64_t Demand(const std::string& function) const;
+  std::int64_t Queued(const std::string& function) const;
+  std::int64_t Executing(const std::string& function) const;
+  std::size_t EndpointCount(const std::string& function) const;
+
+  // Fires when a request queues because no instance had a free slot —
+  // the autoscaler's fast-path trigger (Knative's activator).
+  void set_on_queued(std::function<void(const std::string& function)> cb) {
+    on_queued_ = std::move(cb);
+  }
+
+  // Completed request records (append-only).
+  const std::vector<RequestRecord>& records() const { return records_; }
+  std::uint64_t total_invocations() const { return total_invocations_; }
+  std::uint64_t queued_starts() const { return queued_starts_; }
+
+ private:
+  struct Instance {
+    int busy = 0;       // occupied slots
+    bool retired = false;  // removed from endpoints; drains, no new work
+  };
+  struct PendingRequest {
+    Invocation inv;
+  };
+  struct FunctionState {
+    FunctionSpec spec;
+    std::map<std::string, Instance> instances;
+    std::deque<PendingRequest> queue;
+    std::int64_t executing = 0;
+  };
+
+  void Dispatch(FunctionState& state);
+  // Starts `inv` on `address` now.
+  void StartOn(FunctionState& state, const std::string& address,
+               Invocation inv, bool was_queued);
+  std::string FindFreeInstance(const FunctionState& state) const;
+
+  sim::Engine& engine_;
+  Duration route_latency_;
+  std::function<void(const std::string&)> on_queued_;
+  std::map<std::string, FunctionState> functions_;
+  std::vector<RequestRecord> records_;
+  std::uint64_t total_invocations_ = 0;
+  std::uint64_t queued_starts_ = 0;
+};
+
+}  // namespace kd::faas

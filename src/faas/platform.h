@@ -1,0 +1,54 @@
+// Platform: gateway + autoscaling policy + backend assembled into a
+// runnable FaaS platform — one row of the Fig. 8b matrix:
+//
+//   Kn/K8s  — Knative policy on the stock-K8s ClusterBackend
+//   Kn/Kd   — Knative policy on the KubeDirect ClusterBackend
+//   Dr/K8s+ — Dirigent policy on K8s with Dirigent's sandbox manager
+//   Dr/Kd+  — Dirigent policy on Kd with Dirigent's sandbox manager
+//   Dirigent — Dirigent policy on the clean-slate DirigentBackend
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "faas/backend.h"
+#include "faas/gateway.h"
+#include "faas/policy.h"
+
+namespace kd::faas {
+
+// Per-run aggregates of §6.2: metrics are grouped per function (their
+// rates and durations vary by orders of magnitude), then the CDF is
+// taken across functions.
+struct Report {
+  Sample slowdown;              // per-function mean slowdown
+  Sample scheduling_latency_ms; // per-function mean scheduling latency
+  std::uint64_t total_requests = 0;
+  std::uint64_t completed_requests = 0;
+  std::uint64_t cold_queued_starts = 0;  // requests that had to queue
+};
+
+class Platform {
+ public:
+  Platform(sim::Engine& engine, Backend& backend, PolicyParams params,
+           Duration route_latency = MicrosecondsF(200));
+
+  void RegisterFunction(const FunctionSpec& spec);
+  void Start();  // begins the autoscaler loop
+
+  void Invoke(const std::string& function, Duration duration);
+
+  Gateway& gateway() { return gateway_; }
+  AutoscalePolicy& policy() { return policy_; }
+
+  Report BuildReport() const;
+
+ private:
+  sim::Engine& engine_;
+  Backend& backend_;
+  Gateway gateway_;
+  AutoscalePolicy policy_;
+};
+
+}  // namespace kd::faas

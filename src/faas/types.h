@@ -1,0 +1,67 @@
+// FaaS platform types: functions, invocations, and the per-request
+// metrics the paper's end-to-end evaluation reports (§6.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace kd::faas {
+
+struct FunctionSpec {
+  std::string name;
+  std::int64_t cpu_milli = 250;
+  std::int64_t memory_mb = 256;
+  // Requests one instance serves concurrently (Knative
+  // containerConcurrency; 1 = the strict serverless model).
+  int concurrency = 1;
+};
+
+struct Invocation {
+  std::string function;
+  Time arrival;         // when the request hits the gateway
+  Duration duration;    // requested execution time (the busy loop)
+};
+
+// Completion record: everything needed for slowdown / scheduling
+// latency CDFs.
+struct RequestRecord {
+  std::string function;
+  Time arrival;
+  Time started;    // began executing on some instance
+  Time completed;
+  bool cold_start = false;  // waited for a new instance
+
+  Duration SchedulingLatency() const { return started - arrival; }
+  Duration E2eLatency() const { return completed - arrival; }
+  double Slowdown(Duration requested) const {
+    if (requested <= 0) return 1.0;
+    return static_cast<double>(E2eLatency()) /
+           static_cast<double>(requested);
+  }
+};
+
+// The interface a FaaS platform's data plane needs from its cluster
+// manager: scale functions and learn about ready endpoints. Implemented
+// by the Kubernetes/KubeDirect narrow waist (ClusterBackend) and by the
+// clean-slate Dirigent control plane — the seam that makes the Fig. 8b
+// baseline matrix possible.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual void RegisterFunction(const FunctionSpec& spec) = 0;
+  virtual void ScaleTo(const std::string& function, std::int64_t n) = 0;
+
+  // Endpoint discovery: `sink(function, addresses)` is invoked (with
+  // the full current list) whenever a function's ready endpoints
+  // change, after the backend's discovery path latency.
+  using EndpointSink = std::function<void(
+      const std::string& function, const std::vector<std::string>&)>;
+  virtual void SetEndpointSink(EndpointSink sink) = 0;
+};
+
+}  // namespace kd::faas

@@ -1,0 +1,34 @@
+// Dynamic materialization (§3.2): translating between KdMessages and
+// standard API objects at the ingress of each controller.
+//
+// The ingress receives a KdMessage, resolves external pointers against
+// the controller's local cache (e.g. copies the parent ReplicaSet's
+// pod template), applies the dynamic attributes, and merges the result
+// into the cache — transparently triggering the unmodified control
+// loop (step ①* of Fig. 4).
+#pragma once
+
+#include "common/status.h"
+#include "kubedirect/message.h"
+#include "runtime/cache.h"
+
+namespace kd::kubedirect {
+
+// Materializes `msg` against `cache`:
+//   - if the object already exists in the cache, the message patches it;
+//   - otherwise a fresh object is constructed (kind/name from obj_key).
+// Pointer values are resolved by looking up the referenced object in
+// the cache; a dangling pointer is an error (the caller requeues until
+// the referenced object arrives — in the narrow waist the ReplicaSet
+// always precedes its Pods on the same FIFO link, so this is rare).
+// Does NOT mutate the cache; the caller decides (and pays the
+// kd_materialize cost in simulated time).
+StatusOr<model::ApiObject> Materialize(const KdMessage& msg,
+                                       const runtime::ObjectCache& cache);
+
+// Applies a single attribute path ("spec.nodeName", or a bare section
+// name like "spec") of `value` onto `obj`.
+Status ApplyAttr(model::ApiObject& obj, const std::string& path,
+                 const model::Value& value);
+
+}  // namespace kd::kubedirect

@@ -1,0 +1,245 @@
+#include "kubedirect/message.h"
+
+#include "common/strings.h"
+
+namespace kd::kubedirect {
+
+namespace {
+
+// Short type tags keep the wire format terse; the whole point of the
+// format is byte economy.
+const char* TypeTag(WireMessage::Type type) {
+  switch (type) {
+    case WireMessage::Type::kUpsert: return "u";
+    case WireMessage::Type::kRemove: return "r";
+    case WireMessage::Type::kTombstone: return "t";
+    case WireMessage::Type::kSoftInvalidate: return "i";
+    case WireMessage::Type::kAck: return "a";
+    case WireMessage::Type::kStateVersions: return "V";
+    case WireMessage::Type::kStateRequest: return "R";
+    case WireMessage::Type::kStateSnapshot: return "S";
+  }
+  return "?";
+}
+
+StatusOr<WireMessage::Type> ParseTypeTag(const std::string& tag) {
+  if (tag == "u") return WireMessage::Type::kUpsert;
+  if (tag == "r") return WireMessage::Type::kRemove;
+  if (tag == "t") return WireMessage::Type::kTombstone;
+  if (tag == "i") return WireMessage::Type::kSoftInvalidate;
+  if (tag == "a") return WireMessage::Type::kAck;
+  if (tag == "V") return WireMessage::Type::kStateVersions;
+  if (tag == "R") return WireMessage::Type::kStateRequest;
+  if (tag == "S") return WireMessage::Type::kStateSnapshot;
+  return InvalidArgumentError("unknown wire message tag: " + tag);
+}
+
+model::Value EncodeKdMessage(const KdMessage& msg) {
+  model::Value out = model::Value::MakeObject();
+  out["o"] = msg.obj_key;
+  model::Value attrs = model::Value::MakeObject();
+  for (const auto& [path, value] : msg.attrs) {
+    if (value.is_pointer()) {
+      // Pointer encoded as "objKey#attrPath" under "p".
+      model::Value p = model::Value::MakeObject();
+      p["p"] = value.pointer().obj_key + "#" + value.pointer().attr_path;
+      attrs[path] = std::move(p);
+    } else {
+      model::Value l = model::Value::MakeObject();
+      l["v"] = value.literal();
+      attrs[path] = std::move(l);
+    }
+  }
+  out["a"] = std::move(attrs);
+  return out;
+}
+
+StatusOr<KdMessage> DecodeKdMessage(const model::Value& v) {
+  if (!v.is_object() || !v["o"].is_string()) {
+    return InvalidArgumentError("malformed KdMessage");
+  }
+  KdMessage msg;
+  msg.obj_key = v["o"].as_string();
+  const model::Value& attrs = v["a"];
+  if (!attrs.is_object() && !attrs.is_null()) {
+    return InvalidArgumentError("malformed KdMessage attrs");
+  }
+  if (attrs.is_object()) {
+    for (const auto& [path, encoded] : attrs.object()) {
+      if (encoded.contains("p")) {
+        const std::string& ref = encoded["p"].as_string();
+        const std::size_t hash_pos = ref.find('#');
+        if (hash_pos == std::string::npos) {
+          return InvalidArgumentError("malformed pointer: " + ref);
+        }
+        msg.attrs.emplace(path,
+                          KdValue::Pointer(ref.substr(0, hash_pos),
+                                           ref.substr(hash_pos + 1)));
+      } else if (encoded.contains("v")) {
+        msg.attrs.emplace(path, KdValue::Literal(encoded["v"]));
+      } else {
+        return InvalidArgumentError("attr neither literal nor pointer");
+      }
+    }
+  }
+  return msg;
+}
+
+}  // namespace
+
+const char* WireMessageTypeName(WireMessage::Type type) {
+  switch (type) {
+    case WireMessage::Type::kUpsert: return "Upsert";
+    case WireMessage::Type::kRemove: return "Remove";
+    case WireMessage::Type::kTombstone: return "Tombstone";
+    case WireMessage::Type::kSoftInvalidate: return "SoftInvalidate";
+    case WireMessage::Type::kAck: return "Ack";
+    case WireMessage::Type::kStateVersions: return "StateVersions";
+    case WireMessage::Type::kStateRequest: return "StateRequest";
+    case WireMessage::Type::kStateSnapshot: return "StateSnapshot";
+  }
+  return "?";
+}
+
+std::string WireMessage::Serialize() const {
+  model::Value out = model::Value::MakeObject();
+  out["t"] = TypeTag(type);
+  switch (type) {
+    case Type::kUpsert:
+    case Type::kSoftInvalidate:
+      out["m"] = EncodeKdMessage(message);
+      break;
+    case Type::kRemove:
+    case Type::kTombstone:
+    case Type::kAck:
+      out["k"] = key;
+      break;
+    case Type::kStateVersions: {
+      model::Value v = model::Value::MakeObject();
+      for (const auto& [k, hash] : versions) {
+        v[k] = static_cast<std::int64_t>(hash);
+      }
+      out["v"] = std::move(v);
+      break;
+    }
+    case Type::kStateRequest: {
+      model::Value ks = model::Value::MakeArray();
+      for (const auto& k : keys) ks.push_back(k);
+      out["K"] = std::move(ks);
+      break;
+    }
+    case Type::kStateSnapshot: {
+      model::Value os = model::Value::MakeArray();
+      for (const auto& obj : objects) os.push_back(obj.Serialize());
+      out["O"] = std::move(os);
+      break;
+    }
+  }
+  return out.Serialize();
+}
+
+StatusOr<WireMessage> WireMessage::Parse(const std::string& text) {
+  StatusOr<model::Value> parsed = model::Value::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const model::Value& v = *parsed;
+  StatusOr<Type> type = ParseTypeTag(v["t"].as_string());
+  if (!type.ok()) return type.status();
+  WireMessage out;
+  out.type = *type;
+  switch (out.type) {
+    case Type::kUpsert:
+    case Type::kSoftInvalidate: {
+      StatusOr<KdMessage> msg = DecodeKdMessage(v["m"]);
+      if (!msg.ok()) return msg.status();
+      out.message = std::move(*msg);
+      break;
+    }
+    case Type::kRemove:
+    case Type::kTombstone:
+    case Type::kAck:
+      out.key = v["k"].as_string();
+      break;
+    case Type::kStateVersions:
+      for (const auto& [k, hash] : v["v"].object()) {
+        out.versions[k] = static_cast<std::uint64_t>(hash.as_int());
+      }
+      break;
+    case Type::kStateRequest:
+      for (const auto& k : v["K"].array()) out.keys.push_back(k.as_string());
+      break;
+    case Type::kStateSnapshot:
+      for (const auto& encoded : v["O"].array()) {
+        StatusOr<model::ApiObject> obj =
+            model::ApiObject::Parse(encoded.as_string());
+        if (!obj.ok()) return obj.status();
+        out.objects.push_back(std::move(*obj));
+      }
+      break;
+  }
+  return out;
+}
+
+std::string SerializeBatch(const std::vector<WireMessage>& batch) {
+  model::Value arr = model::Value::MakeArray();
+  for (const auto& msg : batch) arr.push_back(msg.Serialize());
+  return arr.Serialize();
+}
+
+StatusOr<std::vector<WireMessage>> ParseBatch(const std::string& text) {
+  StatusOr<model::Value> parsed = model::Value::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->is_array()) return InvalidArgumentError("batch not an array");
+  std::vector<WireMessage> out;
+  out.reserve(parsed->size());
+  for (const auto& item : parsed->array()) {
+    StatusOr<WireMessage> msg = WireMessage::Parse(item.as_string());
+    if (!msg.ok()) return msg.status();
+    out.push_back(std::move(*msg));
+  }
+  return out;
+}
+
+KdMessage PodCreateMessage(const model::ApiObject& pod,
+                           const std::string& replicaset_key) {
+  KdMessage msg;
+  msg.obj_key = pod.Key();
+  // The static bulk — the container spec — travels as a pointer into
+  // the ReplicaSet the receiver already caches (§3.2's example).
+  msg.attrs.emplace("spec",
+                    KdValue::Pointer(replicaset_key, "spec.template.spec"));
+  // Dynamic attributes the creating controller decided.
+  msg.attrs.emplace("metadata", KdValue::Literal(pod.metadata));
+  msg.attrs.emplace("status.phase",
+                    KdValue::Literal(pod.status["phase"]));
+  return msg;
+}
+
+KdMessage DiffMessage(const model::ApiObject& before,
+                      const model::ApiObject& after) {
+  KdMessage msg;
+  msg.obj_key = after.Key();
+  for (const char* section : {"metadata", "spec", "status"}) {
+    const model::Value& b = section == std::string("metadata") ? before.metadata
+                            : section == std::string("spec")   ? before.spec
+                                                                : before.status;
+    const model::Value& a = section == std::string("metadata") ? after.metadata
+                            : section == std::string("spec")   ? after.spec
+                                                                : after.status;
+    for (auto& [path, value] : model::Value::Diff(b, a)) {
+      msg.attrs.emplace(std::string(section) + "." + path,
+                        KdValue::Literal(std::move(value)));
+    }
+  }
+  return msg;
+}
+
+KdMessage FullObjectMessage(const model::ApiObject& obj) {
+  KdMessage msg;
+  msg.obj_key = obj.Key();
+  msg.attrs.emplace("metadata", KdValue::Literal(obj.metadata));
+  msg.attrs.emplace("spec", KdValue::Literal(obj.spec));
+  msg.attrs.emplace("status", KdValue::Literal(obj.status));
+  return msg;
+}
+
+}  // namespace kd::kubedirect

@@ -1,0 +1,37 @@
+#include "kubedirect/ownership.h"
+
+#include "model/objects.h"
+
+namespace kd::kubedirect {
+
+apiserver::AdmissionHook MakeReplicasGuard() {
+  return [](apiserver::AdmissionOp op, const model::ApiObject* existing,
+            const model::ApiObject* incoming) -> Status {
+    if (op != apiserver::AdmissionOp::kUpdate || existing == nullptr ||
+        incoming == nullptr) {
+      return OkStatus();
+    }
+    if (existing->kind != model::kKindDeployment &&
+        existing->kind != model::kKindReplicaSet) {
+      return OkStatus();
+    }
+    // The guard applies while the object is KubeDirect-managed. An
+    // update that also removes the annotation releases the guard (the
+    // documented opt-out), so only the *incoming* state being managed
+    // triggers enforcement.
+    if (!model::IsKubeDirectManaged(*existing) ||
+        !model::IsKubeDirectManaged(*incoming)) {
+      return OkStatus();
+    }
+    if (model::GetReplicas(*existing) != model::GetReplicas(*incoming)) {
+      return PermissionDeniedError(
+          existing->Key() +
+          ": spec.replicas is owned by KubeDirect (remove the " +
+          std::string(model::kKubeDirectAnnotation) +
+          " annotation to manage it manually)");
+    }
+    return OkStatus();
+  };
+}
+
+}  // namespace kd::kubedirect

@@ -1,0 +1,15 @@
+// Exclusive ownership guard (§5): KubeDirect owns the replicas fields
+// of the Deployments/ReplicaSets it manages. External writes through
+// the API server that touch a guarded field are rejected by this
+// admission hook; writes to non-essential fields (annotations, labels)
+// pass. Removing the KubeDirect annotation releases the guard — the
+// documented way users hand a Deployment back to stock Kubernetes.
+#pragma once
+
+#include "apiserver/apiserver.h"
+
+namespace kd::kubedirect {
+
+apiserver::AdmissionHook MakeReplicasGuard();
+
+}  // namespace kd::kubedirect

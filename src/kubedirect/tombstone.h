@@ -1,0 +1,60 @@
+// Tombstones (§4.3): best-effort, session-scoped termination intents.
+//
+// A controller that decides to terminate a Pod records a Tombstone and
+// keeps replicating it downstream (CR-style) until it observes the pod
+// is locally present but absent downstream — the well-defined point at
+// which it may remove the pod itself and garbage-collect the
+// tombstone. Tombstones live only for the controller's current session
+// (a crash clears them; the downstream state then drives recovery).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace kd::kubedirect {
+
+class TombstoneTracker {
+ public:
+  // Registers a termination intent for `key`. Idempotent.
+  void Add(const std::string& key, Time now) {
+    tombstones_.emplace(key, now);
+  }
+
+  bool Has(const std::string& key) const {
+    return tombstones_.count(key) > 0;
+  }
+
+  // Garbage-collects the tombstone once the referenced pod is gone.
+  void Gc(const std::string& key) { tombstones_.erase(key); }
+
+  // Session reset (controller crash).
+  void Clear() { tombstones_.clear(); }
+
+  std::size_t size() const { return tombstones_.size(); }
+  bool empty() const { return tombstones_.empty(); }
+
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> out;
+    out.reserve(tombstones_.size());
+    for (const auto& [key, at] : tombstones_) out.push_back(key);
+    return out;
+  }
+
+  // Replays every live tombstone through `send` — used right after a
+  // handshake to fast-forward termination intents (§4.3: "Tombstones
+  // are subject to CR-style fast-forwarding in case controllers
+  // crashes or disconnects").
+  void ReplicateAll(const std::function<void(const std::string&)>& send) const {
+    for (const auto& [key, at] : tombstones_) send(key);
+  }
+
+ private:
+  std::map<std::string, Time> tombstones_;  // key -> creation time
+};
+
+}  // namespace kd::kubedirect

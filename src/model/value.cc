@@ -1,0 +1,439 @@
+#include "model/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace kd::model {
+
+namespace {
+const Value kNullValue;
+}  // namespace
+
+std::size_t Value::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const Value& Value::at(std::size_t i) const {
+  static const Value kNull;
+  if (!is_array() || i >= array_.size()) return kNull;
+  return array_[i];
+}
+
+Value& Value::at(std::size_t i) { return array_[i]; }
+
+void Value::push_back(Value v) {
+  if (!is_array()) {
+    type_ = Type::kArray;
+    array_.clear();
+  }
+  array_.push_back(std::move(v));
+}
+
+const Value& Value::operator[](const std::string& key) const {
+  if (!is_object()) return kNullValue;
+  auto it = object_.find(key);
+  return it == object_.end() ? kNullValue : it->second;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (!is_object()) {
+    type_ = Type::kObject;
+    object_.clear();
+  }
+  return object_[key];
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && object_.count(key) > 0;
+}
+
+const Value* Value::FindPath(const std::string& path) const {
+  const Value* cur = this;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t dot = path.find('.', start);
+    const std::string part =
+        path.substr(start, dot == std::string::npos ? dot : dot - start);
+    if (!cur->is_object()) return nullptr;
+    auto it = cur->object_.find(part);
+    if (it == cur->object_.end()) return nullptr;
+    cur = &it->second;
+    if (dot == std::string::npos) return cur;
+    start = dot + 1;
+  }
+  return nullptr;
+}
+
+void Value::SetPath(const std::string& path, Value v) {
+  Value* cur = this;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = path.find('.', start);
+    const std::string part =
+        path.substr(start, dot == std::string::npos ? dot : dot - start);
+    if (!cur->is_object()) {
+      cur->type_ = Type::kObject;
+      cur->object_.clear();
+    }
+    if (dot == std::string::npos) {
+      cur->object_[part] = std::move(v);
+      return;
+    }
+    cur = &cur->object_[part];
+    start = dot + 1;
+  }
+}
+
+bool Value::ErasePath(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) {
+    if (!is_object()) return false;
+    return object_.erase(path) > 0;
+  }
+  const std::string parent_path = path.substr(0, dot);
+  const std::string leaf = path.substr(dot + 1);
+  // FindPath is const; locate the parent mutably by walking again.
+  Value* cur = this;
+  std::size_t start = 0;
+  while (start <= parent_path.size()) {
+    const std::size_t d = parent_path.find('.', start);
+    const std::string part = parent_path.substr(
+        start, d == std::string::npos ? d : d - start);
+    if (!cur->is_object()) return false;
+    auto it = cur->object_.find(part);
+    if (it == cur->object_.end()) return false;
+    cur = &it->second;
+    if (d == std::string::npos) break;
+    start = d + 1;
+  }
+  if (!cur->is_object()) return false;
+  return cur->object_.erase(leaf) > 0;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Value::SerializeTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out += buf;
+      break;
+    }
+    case Type::kString:
+      EscapeInto(string_, out);
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        v.SerializeTo(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        EscapeInto(k, out);
+        out += ':';
+        v.SerializeTo(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Serialize() const {
+  std::string out;
+  out.reserve(64);
+  SerializeTo(out);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON parser over the compact subset Serialize emits
+// (plus whitespace tolerance, so hand-written test fixtures work).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Value> Parse() {
+    StatusOr<Value> v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return InvalidArgumentError(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Value> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      StatusOr<std::string> s = ParseString();
+      if (!s.ok()) return s.status();
+      return Value(std::move(s).value());
+    }
+    if (ConsumeLiteral("null")) return Value();
+    if (ConsumeLiteral("true")) return Value(true);
+    if (ConsumeLiteral("false")) return Value(false);
+    return ParseNumber();
+  }
+
+  StatusOr<Value> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    Value::Object obj;
+    SkipWs();
+    if (Consume('}')) return Value(std::move(obj));
+    for (;;) {
+      StatusOr<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Error("expected ':'");
+      StatusOr<Value> val = ParseValue();
+      if (!val.ok()) return val;
+      obj.emplace(std::move(key).value(), std::move(val).value());
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value(std::move(obj));
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  StatusOr<Value> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    Value::Array arr;
+    SkipWs();
+    if (Consume(']')) return Value(std::move(arr));
+    for (;;) {
+      StatusOr<Value> val = ParseValue();
+      if (!val.ok()) return val;
+      arr.push_back(std::move(val).value());
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value(std::move(arr));
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status(StatusCode::kInvalidArgument, "expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '/': out += '/'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status(StatusCode::kInvalidArgument, "bad \\u escape");
+            }
+            const unsigned code =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            out += static_cast<char>(code & 0x7F);
+            break;
+          }
+          default:
+            return Status(StatusCode::kInvalidArgument, "bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Status(StatusCode::kInvalidArgument, "unterminated string");
+  }
+
+  StatusOr<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    if (is_double) {
+      return Value(std::strtod(token.c_str(), nullptr));
+    }
+    return Value(static_cast<std::int64_t>(
+        std::strtoll(token.c_str(), nullptr, 10)));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> Value::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+std::uint64_t Value::Hash() const {
+  const std::string s = Serialize();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) {
+    // Int/double compare numerically so 5 == 5.0.
+    if (is_number() && other.is_number()) {
+      return as_double() == other.as_double();
+    }
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kInt: return int_ == other.int_;
+    case Type::kDouble: return double_ == other.double_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+void Value::DiffInto(const std::string& prefix, const Value& before,
+                     const Value& after,
+                     std::vector<std::pair<std::string, Value>>& out) {
+  if (before == after) return;
+  if (!before.is_object() || !after.is_object()) {
+    out.emplace_back(prefix, after);
+    return;
+  }
+  // Keys removed in `after` surface as explicit nulls.
+  for (const auto& [k, v] : before.object_) {
+    if (!after.contains(k)) {
+      out.emplace_back(prefix.empty() ? k : prefix + "." + k, Value());
+    }
+  }
+  for (const auto& [k, v] : after.object_) {
+    const std::string path = prefix.empty() ? k : prefix + "." + k;
+    if (!before.contains(k)) {
+      out.emplace_back(path, v);
+    } else {
+      DiffInto(path, before.object_.at(k), v, out);
+    }
+  }
+}
+
+std::vector<std::pair<std::string, Value>> Value::Diff(const Value& before,
+                                                       const Value& after) {
+  std::vector<std::pair<std::string, Value>> out;
+  DiffInto("", before, after, out);
+  return out;
+}
+
+}  // namespace kd::model

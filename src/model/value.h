@@ -1,0 +1,142 @@
+// JSON-like dynamic value, the representation of Kubernetes API object
+// bodies (spec/status/metadata).
+//
+// Three capabilities drive the design, all needed by the paper:
+//   - dotted-path access ("spec.template.spec.containers"), because
+//     KubeDirect messages reference attributes by path (§3.2);
+//   - byte-accurate serialization, because the whole point of the
+//     minimal message format is wire size (64 B vs 17 KB);
+//   - structural diff, because soft invalidation and the handshake's
+//     change-set exchange ship only what changed (§4.2).
+//
+// Value is a regular value type: copies are deep, equality is
+// structural. Arrays and objects own their elements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kd::model {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  // std::map keeps serialization deterministic (sorted keys).
+  using Object = std::map<std::string, Value>;
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(int i) : type_(Type::kInt), int_(i) {}
+  Value(std::int64_t i) : type_(Type::kInt), int_(i) {}
+  Value(double d) : type_(Type::kDouble), double_(d) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Value MakeObject() { return Value(Object{}); }
+  static Value MakeArray() { return Value(Array{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Accessors assert-check the type in debug; in release, mismatched
+  // access returns a zero value (defensive: API objects come off the
+  // wire).
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  std::int64_t as_int() const {
+    if (is_int()) return int_;
+    if (is_double()) return static_cast<std::int64_t>(double_);
+    return 0;
+  }
+  double as_double() const {
+    if (is_double()) return double_;
+    if (is_int()) return static_cast<double>(int_);
+    return 0.0;
+  }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? string_ : kEmpty;
+  }
+
+  // --- array access ---------------------------------------------------
+  std::size_t size() const;
+  const Value& at(std::size_t i) const;
+  Value& at(std::size_t i);
+  void push_back(Value v);
+  const Array& array() const { return array_; }
+  Array& array() { return array_; }
+
+  // --- object access ---------------------------------------------------
+  // Field lookup; returns null Value reference for missing keys.
+  const Value& operator[](const std::string& key) const;
+  // Inserting lookup; converts a null value into an object first.
+  Value& operator[](const std::string& key);
+  bool contains(const std::string& key) const;
+  void erase(const std::string& key) { object_.erase(key); }
+  const Object& object() const { return object_; }
+  Object& object() { return object_; }
+
+  // --- dotted-path access ----------------------------------------------
+  // Path syntax: "spec.template.spec.nodeName". Array elements are not
+  // addressable by path (Kubernetes strategic-merge semantics treat the
+  // containers list as a unit, which is all the narrow waist needs).
+  const Value* FindPath(const std::string& path) const;
+  // Creates intermediate objects as needed.
+  void SetPath(const std::string& path, Value v);
+  // Removes the leaf if present; returns true if removed.
+  bool ErasePath(const std::string& path);
+
+  // --- serialization -----------------------------------------------------
+  // Compact JSON. Keys are emitted sorted, so equal values serialize
+  // identically (used for version hashing in the handshake protocol).
+  std::string Serialize() const;
+  std::size_t SerializedSize() const { return Serialize().size(); }
+  static StatusOr<Value> Parse(const std::string& text);
+
+  // FNV-1a over the serialized form; the "any unique number" version
+  // tag used by the handshake's two-round optimization (§4.2).
+  std::uint64_t Hash() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // --- diff ---------------------------------------------------------------
+  // Paths at which `after` differs from `before` (added/changed leaves,
+  // plus removed paths reported with a null value). Arrays and scalars
+  // are compared as units.
+  static std::vector<std::pair<std::string, Value>> Diff(const Value& before,
+                                                         const Value& after);
+
+ private:
+  void SerializeTo(std::string& out) const;
+  static void DiffInto(const std::string& prefix, const Value& before,
+                       const Value& after,
+                       std::vector<std::pair<std::string, Value>>& out);
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace kd::model

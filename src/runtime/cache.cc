@@ -1,0 +1,112 @@
+#include "runtime/cache.h"
+
+namespace kd::runtime {
+
+const model::ApiObject* ObjectCache::Get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.invalid) return nullptr;
+  return &it->second.object;
+}
+
+std::vector<const model::ApiObject*> ObjectCache::List(
+    const std::string& kind) const {
+  std::vector<const model::ApiObject*> out;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.invalid && entry.object.kind == kind) {
+      out.push_back(&entry.object);
+    }
+  }
+  return out;
+}
+
+std::size_t ObjectCache::VisibleCount(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.invalid && entry.object.kind == kind) ++n;
+  }
+  return n;
+}
+
+void ObjectCache::FireChange(const std::string& key,
+                             const model::ApiObject* before,
+                             const model::ApiObject* after) {
+  for (const auto& handler : handlers_) handler(key, before, after);
+}
+
+void ObjectCache::Upsert(model::ApiObject obj) {
+  const std::string key = obj.Key();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    auto [ins, ok] = entries_.emplace(key, Entry{std::move(obj), false});
+    (void)ok;
+    FireChange(key, nullptr, &ins->second.object);
+    return;
+  }
+  const bool was_visible = !it->second.invalid;
+  model::ApiObject before = it->second.object;
+  it->second.object = std::move(obj);
+  it->second.invalid = false;
+  FireChange(key, was_visible ? &before : nullptr, &it->second.object);
+}
+
+void ObjectCache::Remove(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  const bool was_visible = !it->second.invalid;
+  model::ApiObject before = std::move(it->second.object);
+  entries_.erase(it);
+  if (was_visible) FireChange(key, &before, nullptr);
+}
+
+void ObjectCache::MarkInvalid(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.invalid) return;
+  it->second.invalid = true;
+  FireChange(key, &it->second.object, nullptr);
+}
+
+bool ObjectCache::IsInvalid(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.invalid;
+}
+
+void ObjectCache::DropInvalid(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.invalid) entries_.erase(it);
+}
+
+std::vector<std::string> ObjectCache::InvalidKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.invalid) out.push_back(key);
+  }
+  return out;
+}
+
+void ObjectCache::Clear() { entries_.clear(); }
+
+std::vector<model::ApiObject> ObjectCache::Snapshot() const {
+  std::vector<model::ApiObject> out;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.invalid) out.push_back(entry.object);
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> ObjectCache::VersionMap() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.invalid) out[key] = entry.object.ContentHash();
+  }
+  return out;
+}
+
+std::size_t ObjectCache::size() const {
+  std::size_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.invalid) ++n;
+  }
+  return n;
+}
+
+}  // namespace kd::runtime

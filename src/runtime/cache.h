@@ -1,0 +1,86 @@
+// The controller-local object cache (step ① of Fig. 4).
+//
+// In stock Kubernetes the cache is fed by API-server watch events; in
+// KubeDirect mode the ingress module merges materialized messages into
+// the *same* cache, which is how the integration stays transparent to
+// the control loop (§3.1). The cache therefore accepts updates from
+// either source through Upsert/Remove and notifies change handlers.
+//
+// Invalid marks (§4.2): after a reset-mode handshake, objects absent
+// from the downstream are marked invalid rather than erased. Invalid
+// objects are hidden from Get/List — equivalent to deleted for the
+// control loop — but remembered, so late incoming updates for them can
+// be ignored until the further upstream acknowledges the invalidation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/objects.h"
+
+namespace kd::runtime {
+
+class ObjectCache {
+ public:
+  // (key, previous state or null, new state or null). Fired on every
+  // visible mutation, including invalidation (new = null).
+  using ChangeHandler = std::function<void(
+      const std::string& key, const model::ApiObject* before,
+      const model::ApiObject* after)>;
+
+  void AddChangeHandler(ChangeHandler handler) {
+    handlers_.push_back(std::move(handler));
+  }
+
+  // Returns the object, or nullptr if missing or invalid-marked.
+  const model::ApiObject* Get(const std::string& key) const;
+  bool Contains(const std::string& key) const { return Get(key) != nullptr; }
+
+  // All visible objects of `kind`, in key order (deterministic).
+  std::vector<const model::ApiObject*> List(const std::string& kind) const;
+  std::size_t VisibleCount(const std::string& kind) const;
+
+  // Inserts or overwrites; clears any invalid mark (the object is
+  // authoritatively (re)established). Fires change handlers.
+  void Upsert(model::ApiObject obj);
+
+  // Removes the entry entirely. Fires handlers if it was visible.
+  void Remove(const std::string& key);
+
+  // Hides the object from the control loop but keeps the tombstoned
+  // entry so stale in-flight updates can be recognized (§4.2).
+  void MarkInvalid(const std::string& key);
+  bool IsInvalid(const std::string& key) const;
+  // Drops an invalid entry for good (upstream acknowledged).
+  void DropInvalid(const std::string& key);
+  std::vector<std::string> InvalidKeys() const;
+
+  // Wipes everything (crash-restart: the cache is empty in recover
+  // mode).
+  void Clear();
+
+  // Raw snapshot of visible objects (handshake server side).
+  std::vector<model::ApiObject> Snapshot() const;
+  // key -> content hash of visible objects (handshake round one).
+  std::map<std::string, std::uint64_t> VersionMap() const;
+
+  std::size_t size() const;  // visible entries
+
+ private:
+  struct Entry {
+    model::ApiObject object;
+    bool invalid = false;
+  };
+
+  void FireChange(const std::string& key, const model::ApiObject* before,
+                  const model::ApiObject* after);
+
+  std::map<std::string, Entry> entries_;
+  std::vector<ChangeHandler> handlers_;
+};
+
+}  // namespace kd::runtime

@@ -1,0 +1,34 @@
+#include "runtime/informer.h"
+
+namespace kd::runtime {
+
+void Informer::Start(const std::string& kind, std::function<void()> done) {
+  watches_.push_back(server_.Watch(
+      kind, [this](const apiserver::WatchEvent& event) {
+        switch (event.type) {
+          case apiserver::WatchEventType::kAdded:
+          case apiserver::WatchEventType::kModified:
+            cache_.Upsert(event.object);
+            break;
+          case apiserver::WatchEventType::kDeleted:
+            cache_.Remove(event.object.Key());
+            break;
+        }
+      }));
+  ++pending_syncs_;
+  client_.List(kind, [this, done = std::move(done)](
+                         StatusOr<std::vector<model::ApiObject>> result) {
+    if (result.ok()) {
+      for (auto& obj : *result) cache_.Upsert(std::move(obj));
+    }
+    --pending_syncs_;
+    if (done) done();
+  });
+}
+
+void Informer::Stop() {
+  for (apiserver::WatchId id : watches_) server_.Unwatch(id);
+  watches_.clear();
+}
+
+}  // namespace kd::runtime

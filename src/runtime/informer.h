@@ -1,0 +1,45 @@
+// Informer: the pub-sub feed from the API server into a controller's
+// local cache (steps ①② of Fig. 4). Performs the initial List + Watch
+// dance of client-go reflectors, then merges watch events into the
+// ObjectCache, whose change handlers trigger the control loop.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apiserver/apiserver.h"
+#include "apiserver/client.h"
+#include "runtime/cache.h"
+
+namespace kd::runtime {
+
+class Informer {
+ public:
+  Informer(apiserver::ApiClient& client, apiserver::ApiServer& server,
+           ObjectCache& cache)
+      : client_(client), server_(server), cache_(cache) {}
+  ~Informer() { Stop(); }
+
+  Informer(const Informer&) = delete;
+  Informer& operator=(const Informer&) = delete;
+
+  // Registers the watch, then lists `kind` to seed the cache. `done`
+  // fires when the initial sync finished. Watch-before-list means no
+  // event can be missed in the gap (events for objects the list also
+  // returns are harmless Upserts).
+  void Start(const std::string& kind, std::function<void()> done = nullptr);
+
+  void Stop();
+
+  bool synced() const { return pending_syncs_ == 0; }
+
+ private:
+  apiserver::ApiClient& client_;
+  apiserver::ApiServer& server_;
+  ObjectCache& cache_;
+  std::vector<apiserver::WatchId> watches_;
+  int pending_syncs_ = 0;
+};
+
+}  // namespace kd::runtime

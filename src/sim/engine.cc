@@ -1,0 +1,91 @@
+#include "sim/engine.h"
+
+#include <cassert>
+
+namespace kd::sim {
+
+EventId Engine::ScheduleAt(Time t, std::function<void()> fn) {
+  auto event = std::make_shared<Event>();
+  event->time = t < now_ ? now_ : t;
+  event->seq = next_seq_++;
+  event->fn = std::move(fn);
+  const EventId id = event->seq;
+  by_id_.emplace(id, event);
+  queue_.push(std::move(event));
+  ++live_events_;
+  return id;
+}
+
+bool Engine::Cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  auto event = it->second.lock();
+  by_id_.erase(it);
+  if (!event || event->cancelled) return false;
+  event->cancelled = true;
+  assert(live_events_ > 0);
+  --live_events_;
+  return true;
+}
+
+bool Engine::PopAndFire() {
+  while (!queue_.empty()) {
+    auto event = queue_.top();
+    queue_.pop();
+    if (event->cancelled) continue;
+    by_id_.erase(event->seq);
+    assert(live_events_ > 0);
+    --live_events_;
+    assert(event->time >= now_);
+    now_ = event->time;
+    ++processed_;
+    // Move the closure out so it may reschedule freely (and so captures
+    // are destroyed before the next event fires).
+    auto fn = std::move(event->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+bool Engine::Step() { return PopAndFire(); }
+
+std::uint64_t Engine::Run() {
+  stopped_ = false;
+  hit_event_limit_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_) {
+    if (event_limit_ != 0 && n >= event_limit_) {
+      hit_event_limit_ = true;
+      break;
+    }
+    if (!PopAndFire()) break;
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Engine::RunUntil(Time t) {
+  stopped_ = false;
+  hit_event_limit_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_) {
+    if (event_limit_ != 0 && n >= event_limit_) {
+      hit_event_limit_ = true;
+      break;
+    }
+    // Peek: skip cancelled tombstones without advancing time.
+    bool fired = false;
+    while (!queue_.empty() && queue_.top()->cancelled) queue_.pop();
+    if (!queue_.empty() && queue_.top()->time <= t) {
+      fired = PopAndFire();
+    }
+    if (!fired) break;
+    ++n;
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace kd::sim

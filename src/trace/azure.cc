@@ -1,0 +1,127 @@
+#include "trace/azure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace kd::trace {
+
+AzureTrace AzureTrace::Generate(const TraceConfig& config) {
+  AzureTrace trace;
+  trace.num_functions_ = config.num_functions;
+  trace.length_ = config.length;
+  Rng rng(config.seed);
+
+  // --- per-function rates, normalized to the target volume ----------
+  std::vector<double> raw_rates(static_cast<std::size_t>(config.num_functions));
+  double total = 0;
+  for (double& rate : raw_rates) {
+    rate = rng.LogNormal(0.0, config.rate_sigma);
+    total += rate;
+  }
+  const double seconds = ToSeconds(config.length);
+  const double scale =
+      static_cast<double>(config.target_invocations) / (total * seconds);
+  trace.rates_.resize(raw_rates.size());
+  for (std::size_t i = 0; i < raw_rates.size(); ++i) {
+    trace.rates_[i] = raw_rates[i] * scale;
+  }
+
+  // --- per-function duration profile ---------------------------------
+  const double mu_median = std::log(ToSeconds(config.median_duration));
+  std::vector<double> duration_mu(raw_rates.size());
+  for (double& mu : duration_mu) {
+    mu = rng.Normal(mu_median, config.duration_sigma);
+  }
+  auto sample_duration = [&](int fn) {
+    const double seconds_d =
+        std::exp(rng.Normal(duration_mu[static_cast<std::size_t>(fn)], 0.3));
+    Duration d = SecondsF(seconds_d);
+    return std::clamp(d, config.min_duration, config.max_duration);
+  };
+
+  // --- Poisson arrivals per function ----------------------------------
+  for (int fn = 0; fn < config.num_functions; ++fn) {
+    const double rate = trace.rates_[static_cast<std::size_t>(fn)];
+    if (rate <= 0) continue;
+    double t = rng.Exponential(1.0 / rate);
+    while (t < seconds) {
+      trace.events_.push_back(
+          TraceEvent{SecondsF(t), fn, sample_duration(fn)});
+      t += rng.Exponential(1.0 / rate);
+    }
+  }
+
+  // --- correlated cold bursts -----------------------------------------
+  // The coldest quartile of functions, by rate.
+  std::vector<int> by_rate(static_cast<std::size_t>(config.num_functions));
+  for (int i = 0; i < config.num_functions; ++i) {
+    by_rate[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(by_rate.begin(), by_rate.end(), [&](int a, int b) {
+    return trace.rates_[static_cast<std::size_t>(a)] <
+           trace.rates_[static_cast<std::size_t>(b)];
+  });
+  const std::size_t burst_pool = by_rate.size() / 4;
+  Time burst_at = static_cast<Time>(rng.UniformRange(
+      config.burst_interval_min, config.burst_interval_max));
+  while (burst_at < config.length && burst_pool > 0) {
+    const std::size_t count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.burst_function_fraction *
+                                    config.num_functions));
+    for (std::size_t i = 0; i < count; ++i) {
+      const int fn = by_rate[rng.UniformInt(burst_pool)];
+      for (int k = 0; k < config.burst_invocations_per_function; ++k) {
+        // Spread within ~100 ms — simultaneous at control-plane scale.
+        const Time jitter =
+            static_cast<Time>(rng.UniformInt(Milliseconds(100)));
+        trace.events_.push_back(
+            TraceEvent{burst_at + jitter, fn, sample_duration(fn)});
+      }
+    }
+    burst_at += static_cast<Time>(rng.UniformRange(
+        config.burst_interval_min, config.burst_interval_max));
+  }
+
+  std::sort(trace.events_.begin(), trace.events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.function < b.function;
+            });
+  return trace;
+}
+
+std::string AzureTrace::FunctionName(int index) const {
+  return StrFormat("fn-%04d", index);
+}
+
+std::vector<std::uint64_t> AzureTrace::PerMinuteCounts() const {
+  const std::size_t minutes =
+      static_cast<std::size_t>(length_ / kMinute) + 1;
+  std::vector<std::uint64_t> counts(minutes, 0);
+  for (const TraceEvent& event : events_) {
+    ++counts[static_cast<std::size_t>(event.at / kMinute)];
+  }
+  return counts;
+}
+
+std::vector<double> ColdStartRateCurve(int minutes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> curve(static_cast<std::size_t>(minutes));
+  for (int m = 0; m < minutes; ++m) {
+    // Diurnal base: 2k-12k cold starts/min.
+    const double phase = 2.0 * 3.14159265358979 *
+                         static_cast<double>(m) / (24.0 * 60.0);
+    double base = 7000.0 - 5000.0 * std::cos(phase);
+    base *= 1.0 + 0.15 * rng.Normal(0.0, 1.0);
+    // Sporadic deployment/rollout bursts peaking above 50k/min.
+    if (rng.Bernoulli(0.012)) {
+      base += rng.UniformDouble(25'000.0, 55'000.0);
+    }
+    curve[static_cast<std::size_t>(m)] = std::max(0.0, base);
+  }
+  return curve;
+}
+
+}  // namespace kd::trace

@@ -1,0 +1,96 @@
+// Unit tests for ActiveTracker: the isolated-stage-time measurement
+// underpinning the breakdown figures.
+#include <gtest/gtest.h>
+
+#include "common/active_tracker.h"
+
+namespace kd {
+namespace {
+
+TEST(ActiveTrackerTest, SingleIntervalAccumulates) {
+  MetricsRecorder metrics;
+  ActiveTracker tracker(&metrics, "stage");
+  tracker.Inc(Milliseconds(10));
+  tracker.Dec(Milliseconds(25));
+  EXPECT_EQ(metrics.GetBusy("stage"), Milliseconds(15));
+}
+
+TEST(ActiveTrackerTest, OverlappingWorkCountsOnce) {
+  MetricsRecorder metrics;
+  ActiveTracker tracker(&metrics, "stage");
+  // Two overlapping items: active time is the union, not the sum.
+  tracker.Inc(Milliseconds(0));
+  tracker.Inc(Milliseconds(5));
+  tracker.Dec(Milliseconds(10));
+  tracker.Dec(Milliseconds(20));
+  EXPECT_EQ(metrics.GetBusy("stage"), Milliseconds(20));
+}
+
+TEST(ActiveTrackerTest, DisjointIntervalsSum) {
+  MetricsRecorder metrics;
+  ActiveTracker tracker(&metrics, "stage");
+  tracker.Inc(Milliseconds(0));
+  tracker.Dec(Milliseconds(10));
+  tracker.Inc(Milliseconds(100));
+  tracker.Dec(Milliseconds(130));
+  EXPECT_EQ(metrics.GetBusy("stage"), Milliseconds(40));
+}
+
+TEST(ActiveTrackerTest, IdleGapsExcluded) {
+  MetricsRecorder metrics;
+  ActiveTracker tracker(&metrics, "stage");
+  tracker.Inc(Seconds(1));
+  tracker.Dec(Seconds(2));
+  // A long idle gap contributes nothing.
+  tracker.Inc(Seconds(100));
+  tracker.Dec(Seconds(101));
+  EXPECT_EQ(metrics.GetBusy("stage"), Seconds(2));
+}
+
+TEST(ActiveTrackerTest, ResetFlushesOpenInterval) {
+  MetricsRecorder metrics;
+  ActiveTracker tracker(&metrics, "stage");
+  tracker.Inc(Milliseconds(0));
+  tracker.Inc(Milliseconds(1));
+  tracker.Reset(Milliseconds(7));
+  EXPECT_EQ(metrics.GetBusy("stage"), Milliseconds(7));
+  EXPECT_EQ(tracker.pending(), 0);
+  // Usable again after reset.
+  tracker.Inc(Milliseconds(10));
+  tracker.Dec(Milliseconds(12));
+  EXPECT_EQ(metrics.GetBusy("stage"), Milliseconds(9));
+}
+
+TEST(ActiveTrackerTest, ResetWhileIdleIsNoop) {
+  MetricsRecorder metrics;
+  ActiveTracker tracker(&metrics, "stage");
+  tracker.Reset(Seconds(5));
+  EXPECT_EQ(metrics.GetBusy("stage"), 0);
+}
+
+TEST(ActiveTrackerTest, NullMetricsSafe) {
+  ActiveTracker tracker(nullptr, "stage");
+  tracker.Inc(0);
+  tracker.Dec(1);
+  tracker.Reset(2);
+  EXPECT_EQ(tracker.pending(), 0);
+}
+
+TEST(ActiveTrackerTest, UnmatchedDecAborts) {
+  MetricsRecorder metrics;
+  ActiveTracker tracker(&metrics, "stage");
+  EXPECT_DEATH(tracker.Dec(1), "without matching Inc");
+}
+
+TEST(ActiveTrackerTest, PendingCountTracks) {
+  ActiveTracker tracker(nullptr, "stage");
+  EXPECT_EQ(tracker.pending(), 0);
+  tracker.Inc(0);
+  tracker.Inc(0);
+  EXPECT_EQ(tracker.pending(), 2);
+  tracker.Dec(1);
+  EXPECT_EQ(tracker.pending(), 1);
+}
+
+}  // namespace
+}  // namespace kd

@@ -1,0 +1,238 @@
+// Tests for the minimal message format (§3.2): encoding round trips,
+// wire sizes, batching, and dynamic materialization.
+#include <gtest/gtest.h>
+
+#include "kubedirect/materialize.h"
+#include "kubedirect/message.h"
+#include "model/objects.h"
+#include "runtime/cache.h"
+
+namespace kd::kubedirect {
+namespace {
+
+using model::ApiObject;
+using model::MakePodFromTemplate;
+using model::MakeReplicaSet;
+using model::RealisticPodTemplateSpec;
+
+ApiObject Rs(const std::string& name, int replicas = 1) {
+  return MakeReplicaSet(name, "fn", 1, replicas,
+                        RealisticPodTemplateSpec("fn"));
+}
+
+TEST(KdMessageTest, UpsertRoundTrip) {
+  KdMessage msg;
+  msg.obj_key = "Pod/p1";
+  msg.attrs.emplace("spec.nodeName", KdValue::Literal("worker1"));
+  msg.attrs.emplace("spec",
+                    KdValue::Pointer("ReplicaSet/rs1", "spec.template.spec"));
+  WireMessage wire;
+  wire.type = WireMessage::Type::kUpsert;
+  wire.message = msg;
+  auto parsed = WireMessage::Parse(wire.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, WireMessage::Type::kUpsert);
+  EXPECT_EQ(parsed->message, msg);
+}
+
+TEST(KdMessageTest, AllScalarTypesRoundTrip) {
+  for (auto type :
+       {WireMessage::Type::kRemove, WireMessage::Type::kTombstone,
+        WireMessage::Type::kAck}) {
+    WireMessage wire;
+    wire.type = type;
+    wire.key = "Pod/p9";
+    auto parsed = WireMessage::Parse(wire.Serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->type, type);
+    EXPECT_EQ(parsed->key, "Pod/p9");
+  }
+}
+
+TEST(KdMessageTest, StateVersionsRoundTrip) {
+  WireMessage wire;
+  wire.type = WireMessage::Type::kStateVersions;
+  wire.versions["Pod/a"] = 0xDEADBEEFCAFEF00DULL;
+  wire.versions["Pod/b"] = 42;
+  auto parsed = WireMessage::Parse(wire.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->versions, wire.versions);
+}
+
+TEST(KdMessageTest, StateRequestAndSnapshotRoundTrip) {
+  WireMessage request;
+  request.type = WireMessage::Type::kStateRequest;
+  request.keys = {"Pod/a", "Pod/b"};
+  auto parsed_request = WireMessage::Parse(request.Serialize());
+  ASSERT_TRUE(parsed_request.ok());
+  EXPECT_EQ(parsed_request->keys, request.keys);
+
+  WireMessage snapshot;
+  snapshot.type = WireMessage::Type::kStateSnapshot;
+  snapshot.objects.push_back(Rs("rs1"));
+  auto parsed_snapshot = WireMessage::Parse(snapshot.Serialize());
+  ASSERT_TRUE(parsed_snapshot.ok());
+  ASSERT_EQ(parsed_snapshot->objects.size(), 1u);
+  EXPECT_EQ(parsed_snapshot->objects[0], snapshot.objects[0]);
+}
+
+TEST(KdMessageTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(WireMessage::Parse("nonsense").ok());
+  EXPECT_FALSE(WireMessage::Parse("{\"t\":\"zz\"}").ok());
+  EXPECT_FALSE(WireMessage::Parse("{\"t\":\"u\",\"m\":{\"a\":1}}").ok());
+}
+
+TEST(KdMessageTest, BatchRoundTrip) {
+  std::vector<WireMessage> batch;
+  for (int i = 0; i < 5; ++i) {
+    WireMessage wire;
+    wire.type = WireMessage::Type::kTombstone;
+    wire.key = "Pod/p" + std::to_string(i);
+    batch.push_back(wire);
+  }
+  auto parsed = ParseBatch(SerializeBatch(batch));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 5u);
+  EXPECT_EQ((*parsed)[3].key, "Pod/p3");
+}
+
+// The headline size claim: a pod-creation message is two orders of
+// magnitude smaller than the full serialized pod (~100 B vs ~17 KB).
+TEST(KdMessageTest, PodCreateMessageIsTiny) {
+  ApiObject rs = Rs("fn-v1");
+  ApiObject pod = MakePodFromTemplate("fn-v1-0", rs);
+  KdMessage msg = PodCreateMessage(pod, rs.Key());
+  WireMessage wire;
+  wire.type = WireMessage::Type::kUpsert;
+  wire.message = msg;
+  const std::size_t kd_size = wire.SerializedSize();
+  const std::size_t full_size = pod.SerializedSize();
+  EXPECT_LT(kd_size, 400u);
+  EXPECT_GT(full_size, 10'000u);
+  EXPECT_GT(full_size / kd_size, 30u);
+}
+
+TEST(KdMessageTest, DiffMessageCarriesOnlyChanges) {
+  ApiObject rs = Rs("fn-v1");
+  ApiObject pod = MakePodFromTemplate("p", rs);
+  ApiObject scheduled = pod;
+  model::SetNodeName(scheduled, "worker7");
+  KdMessage msg = DiffMessage(pod, scheduled);
+  ASSERT_EQ(msg.attrs.size(), 1u);
+  EXPECT_TRUE(msg.attrs.count("spec.nodeName"));
+  EXPECT_EQ(msg.attrs.at("spec.nodeName").literal().as_string(), "worker7");
+}
+
+TEST(KdMessageTest, FullObjectMessageMatchesObjectSize) {
+  ApiObject rs = Rs("fn-v1");
+  ApiObject pod = MakePodFromTemplate("p", rs);
+  WireMessage wire;
+  wire.type = WireMessage::Type::kUpsert;
+  wire.message = FullObjectMessage(pod);
+  // Naive full-object passing (Fig. 14 baseline) is the same order of
+  // magnitude as the API object itself.
+  EXPECT_GT(wire.SerializedSize(), pod.SerializedSize() / 2);
+}
+
+// --- Materialization -----------------------------------------------------
+
+class MaterializeTest : public ::testing::Test {
+ protected:
+  MaterializeTest() {
+    rs_ = Rs("fn-v1", 3);
+    cache_.Upsert(rs_);
+  }
+  runtime::ObjectCache cache_;
+  ApiObject rs_;
+};
+
+TEST_F(MaterializeTest, PodCreateResolvesTemplatePointer) {
+  ApiObject pod = MakePodFromTemplate("fn-v1-0", rs_);
+  KdMessage msg = PodCreateMessage(pod, rs_.Key());
+  auto materialized = Materialize(msg, cache_);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  EXPECT_EQ(materialized->kind, model::kKindPod);
+  EXPECT_EQ(materialized->name, "fn-v1-0");
+  // The materialized pod is byte-identical to the original.
+  EXPECT_EQ(materialized->spec, pod.spec);
+  EXPECT_EQ(materialized->metadata, pod.metadata);
+  EXPECT_EQ(model::GetPodPhase(*materialized), model::PodPhase::kPending);
+}
+
+TEST_F(MaterializeTest, PatchesExistingCachedObject) {
+  ApiObject pod = MakePodFromTemplate("fn-v1-0", rs_);
+  cache_.Upsert(pod);
+  KdMessage msg;
+  msg.obj_key = pod.Key();
+  msg.attrs.emplace("spec.nodeName", KdValue::Literal("worker3"));
+  auto materialized = Materialize(msg, cache_);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(model::GetNodeName(*materialized), "worker3");
+  // Untouched attributes survive the patch.
+  EXPECT_EQ(materialized->spec["functionName"].as_string(), "fn");
+}
+
+TEST_F(MaterializeTest, DanglingPointerFailsPrecondition) {
+  KdMessage msg;
+  msg.obj_key = "Pod/orphan";
+  msg.attrs.emplace("spec", KdValue::Pointer("ReplicaSet/missing",
+                                             "spec.template.spec"));
+  auto result = Materialize(msg, cache_);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaterializeTest, BadPointerPathFails) {
+  KdMessage msg;
+  msg.obj_key = "Pod/p";
+  msg.attrs.emplace("spec",
+                    KdValue::Pointer(rs_.Key(), "spec.no.such.path"));
+  EXPECT_EQ(Materialize(msg, cache_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaterializeTest, MalformedKeysRejected) {
+  KdMessage msg;
+  msg.obj_key = "no-slash";
+  EXPECT_EQ(Materialize(msg, cache_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MaterializeTest, NullLiteralErasesAttr) {
+  ApiObject pod = MakePodFromTemplate("p", rs_);
+  model::SetNodeName(pod, "w1");
+  cache_.Upsert(pod);
+  KdMessage msg;
+  msg.obj_key = pod.Key();
+  msg.attrs.emplace("spec.nodeName", KdValue::Literal(model::Value()));
+  auto materialized = Materialize(msg, cache_);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(model::GetNodeName(*materialized), "");
+}
+
+TEST_F(MaterializeTest, UnknownSectionRejected) {
+  ApiObject obj;
+  obj.kind = "Pod";
+  obj.name = "p";
+  EXPECT_FALSE(ApplyAttr(obj, "bogus.path", model::Value(1)).ok());
+  EXPECT_TRUE(ApplyAttr(obj, "status.phase", model::Value("Pending")).ok());
+}
+
+TEST_F(MaterializeTest, RoundTripThroughWirePreservesEquality) {
+  // Sender: create message; wire: serialize+parse; receiver:
+  // materialize. End-to-end transparency check (§3.2).
+  ApiObject pod = MakePodFromTemplate("fn-v1-9", rs_);
+  model::SetNodeName(pod, "worker2");
+  KdMessage create = PodCreateMessage(pod, rs_.Key());
+  create.attrs.emplace("spec.nodeName", KdValue::Literal("worker2"));
+  WireMessage wire;
+  wire.type = WireMessage::Type::kUpsert;
+  wire.message = create;
+  auto parsed = WireMessage::Parse(wire.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  auto materialized = Materialize(parsed->message, cache_);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(materialized->spec, pod.spec);
+}
+
+}  // namespace
+}  // namespace kd::kubedirect

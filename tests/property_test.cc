@@ -1,0 +1,248 @@
+// Randomized model-walk property tests — the executable counterpart of
+// the paper's TLA+ specification (appendix).
+//
+// Each walk drives the full Kd cluster through a random interleaving
+// of the spec's actions (scaling commands, controller crashes +
+// restarts, link disconnections via partition/heal, pod evictions,
+// arbitrary time advancement), then closes with the Liveness
+// Assumption (§4.4): the narrow waist becomes totally connected long
+// enough for end-to-end message passing. The checker then asserts:
+//
+//   KdConvergence — |ready pods| == last scaling command;
+//   KdSafety      — pod state agrees along the chain (a predicate that
+//                   holds at a suffix holds upstream): every pod a
+//                   Kubelet runs is known, with the same binding, to
+//                   the Scheduler and the ReplicaSet controller;
+//   Uniqueness    — no pod is ever claimed by two Kubelets (checked at
+//                   every step, not just at quiescence);
+//   Lifecycle     — pods never reappear after removal from the API
+//                   server with the same identity (Terminating is
+//                   irreversible).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "model/objects.h"
+
+namespace kd::cluster {
+namespace {
+
+using model::ApiObject;
+using model::kKindPod;
+
+constexpr int kNodes = 3;
+
+class ModelWalk {
+ public:
+  explicit ModelWalk(std::uint64_t seed) : rng_(seed) {
+    ClusterConfig config = ClusterConfig::Kd(kNodes);
+    config.realistic_pod_template = false;
+    config.node_cpu_milli = 4000;  // 16 pods per node, 48 total
+    config.scheduler.cancel_after_failures = 5;
+    cluster_ = std::make_unique<Cluster>(engine_, std::move(config));
+    cluster_->Boot();
+    cluster_->RegisterFunction("fn");
+  }
+
+  void Run(int steps) {
+    for (int i = 0; i < steps; ++i) {
+      Step();
+      CheckStepInvariants();
+    }
+    CloseAndCheckConvergence();
+  }
+
+ private:
+  void Step() {
+    switch (rng_.UniformInt(10)) {
+      case 0:
+      case 1:
+      case 2: {  // scaling command (weighted: the common action)
+        desired_ = static_cast<int>(rng_.UniformInt(13));
+        cluster_->ScaleTo("fn", desired_);
+        break;
+      }
+      case 3: {  // crash + restart a random controller
+        switch (rng_.UniformInt(4)) {
+          case 0:
+            cluster_->autoscaler().Crash();
+            cluster_->autoscaler().Restart();
+            break;
+          case 1:
+            cluster_->deployment_controller().Crash();
+            cluster_->deployment_controller().Restart();
+            break;
+          case 2:
+            cluster_->replicaset_controller().Crash();
+            cluster_->replicaset_controller().Restart();
+            break;
+          case 3:
+            cluster_->scheduler().Crash();
+            cluster_->scheduler().Restart();
+            break;
+        }
+        // The platform is level-triggered: it re-issues its latest
+        // decision on its next evaluation tick.
+        cluster_->ScaleTo("fn", desired_);
+        break;
+      }
+      case 4: {  // kubelet crash + restart
+        const int k = static_cast<int>(rng_.UniformInt(kNodes));
+        cluster_->kubelet(k).Crash();
+        cluster_->kubelet(k).Restart();
+        break;
+      }
+      case 5: {  // partition a random narrow-waist link
+        PartitionRandomLink(/*heal=*/false);
+        break;
+      }
+      case 6: {  // heal a random partition
+        PartitionRandomLink(/*heal=*/true);
+        break;
+      }
+      case 7: {  // evict a random running pod at its kubelet
+        std::vector<std::pair<int, std::string>> candidates;
+        for (int k = 0; k < kNodes; ++k) {
+          for (const ApiObject* pod :
+               cluster_->kubelet(k).cache().List(kKindPod)) {
+            candidates.emplace_back(k, pod->Key());
+          }
+        }
+        if (!candidates.empty()) {
+          const auto& [k, key] =
+              candidates[rng_.UniformInt(candidates.size())];
+          cluster_->kubelet(k).Evict(key);
+        }
+        break;
+      }
+      default: {  // advance time
+        engine_.RunFor(Milliseconds(static_cast<std::int64_t>(
+            1 + rng_.UniformInt(400))));
+        break;
+      }
+    }
+    engine_.RunFor(Milliseconds(static_cast<std::int64_t>(
+        rng_.UniformInt(50))));
+  }
+
+  void PartitionRandomLink(bool heal) {
+    using controllers::Addresses;
+    std::vector<std::pair<std::string, std::string>> links = {
+        {Addresses::Autoscaler(), Addresses::DeploymentController()},
+        {Addresses::DeploymentController(), Addresses::ReplicaSetController()},
+        {Addresses::ReplicaSetController(), Addresses::Scheduler()},
+    };
+    for (int k = 0; k < kNodes; ++k) {
+      links.emplace_back(Addresses::Scheduler(),
+                         Addresses::Kubelet(Cluster::NodeName(k)));
+    }
+    const auto& [a, b] = links[rng_.UniformInt(links.size())];
+    if (heal) {
+      cluster_->network().Heal(a, b);
+    } else {
+      cluster_->network().Partition(a, b);
+      partitioned_.insert({a, b});
+    }
+  }
+
+  void HealAll() {
+    for (const auto& [a, b] : partitioned_) cluster_->network().Heal(a, b);
+    partitioned_.clear();
+  }
+
+  // Invariants that must hold at EVERY step, not only at quiescence.
+  void CheckStepInvariants() {
+    // Uniqueness: one pod, at most one kubelet.
+    std::map<std::string, int> claims;
+    for (int k = 0; k < kNodes; ++k) {
+      for (const ApiObject* pod :
+           cluster_->kubelet(k).cache().List(kKindPod)) {
+        ASSERT_EQ(++claims[pod->Key()], 1)
+            << pod->Key() << " claimed by two kubelets";
+      }
+    }
+    // Lifecycle: a published pod name never reappears after deletion.
+    std::set<std::string> now;
+    for (const ApiObject* pod : cluster_->apiserver().PeekAll(kKindPod)) {
+      now.insert(pod->name);
+    }
+    for (const std::string& name : now) {
+      ASSERT_FALSE(ever_deleted_.count(name))
+          << "pod " << name << " was resurrected";
+    }
+    for (const std::string& name : ever_published_) {
+      if (!now.count(name)) ever_deleted_.insert(name);
+    }
+    ever_published_.insert(now.begin(), now.end());
+  }
+
+  void CloseAndCheckConvergence() {
+    // Liveness Assumption (§4.4): total connectivity, long enough.
+    HealAll();
+    cluster_->ScaleTo("fn", desired_);  // platform's level-triggered loop
+    const bool converged = cluster_->RunUntil(
+        [&] {
+          return cluster_->ReadyPodCount("fn") ==
+                 static_cast<std::size_t>(desired_);
+        },
+        Seconds(600));
+    ASSERT_TRUE(converged) << "KdConvergence violated: want " << desired_
+                           << " got " << cluster_->ReadyPodCount("fn");
+    // Quiesce fully, then check the safety invariant along the chain.
+    engine_.RunFor(Seconds(10));
+    ASSERT_EQ(cluster_->ReadyPodCount("fn"),
+              static_cast<std::size_t>(desired_))
+        << "did not stay converged";
+
+    const auto& sched_cache = cluster_->scheduler().pod_cache();
+    const auto& rs_cache = cluster_->replicaset_controller().pod_cache();
+    for (int k = 0; k < kNodes; ++k) {
+      for (const ApiObject* pod :
+           cluster_->kubelet(k).cache().List(kKindPod)) {
+        const std::string key = pod->Key();
+        // Suffix predicate: "pod X runs on node k" — must hold upstream.
+        const ApiObject* at_sched = sched_cache.Get(key);
+        ASSERT_NE(at_sched, nullptr)
+            << key << " at kubelet " << k << " unknown to scheduler";
+        EXPECT_EQ(model::GetNodeName(*at_sched), Cluster::NodeName(k));
+        const ApiObject* at_rs = rs_cache.Get(key);
+        ASSERT_NE(at_rs, nullptr)
+            << key << " at kubelet " << k << " unknown to RS controller";
+        EXPECT_EQ(model::GetNodeName(*at_rs), Cluster::NodeName(k));
+      }
+    }
+    // Tombstones drained (all terminations settled).
+    EXPECT_EQ(cluster_->replicaset_controller().tombstone_count(), 0u);
+    EXPECT_EQ(cluster_->scheduler().tombstone_count(), 0u);
+  }
+
+  sim::Engine engine_;
+  Rng rng_;
+  std::unique_ptr<Cluster> cluster_;
+  int desired_ = 0;
+  std::set<std::pair<std::string, std::string>> partitioned_;
+  std::set<std::string> ever_published_;
+  std::set<std::string> ever_deleted_;
+};
+
+class ModelWalkTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelWalkTest, RandomWalkConvergesAndStaysSafe) {
+  ModelWalk walk(GetParam());
+  walk.Run(/*steps=*/40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelWalkTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// A focused long walk with heavier failure pressure.
+TEST(ModelWalkLongTest, HundredStepWalk) {
+  ModelWalk walk(0xC0FFEE);
+  walk.Run(/*steps=*/100);
+}
+
+}  // namespace
+}  // namespace kd::cluster

@@ -1,0 +1,188 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace kd::sim {
+namespace {
+
+TEST(EngineTest, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(Milliseconds(20), [&] { order.push_back(2); });
+  e.ScheduleAt(Milliseconds(10), [&] { order.push_back(1); });
+  e.ScheduleAt(Milliseconds(30), [&] { order.push_back(3); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), Milliseconds(30));
+}
+
+TEST(EngineTest, TiesBreakBySchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  Time fired_at = -1;
+  e.ScheduleAt(Milliseconds(10), [&] {
+    e.ScheduleAfter(Milliseconds(5), [&] { fired_at = e.now(); });
+  });
+  e.Run();
+  EXPECT_EQ(fired_at, Milliseconds(15));
+}
+
+TEST(EngineTest, PastTimesClampToNow) {
+  Engine e;
+  e.ScheduleAt(Milliseconds(10), [&] {
+    e.ScheduleAt(Milliseconds(1), [&] { EXPECT_EQ(e.now(), Milliseconds(10)); });
+  });
+  e.Run();
+  EXPECT_EQ(e.now(), Milliseconds(10));
+}
+
+TEST(EngineTest, NegativeDelayClampsToZero) {
+  Engine e;
+  bool fired = false;
+  e.ScheduleAfter(-5, [&] { fired = true; });
+  e.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.now(), 0);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  EventId id = e.ScheduleAt(Milliseconds(10), [&] { fired = true; });
+  EXPECT_TRUE(e.Cancel(id));
+  e.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, CancelTwiceReturnsFalse) {
+  Engine e;
+  EventId id = e.ScheduleAt(1, [] {});
+  EXPECT_TRUE(e.Cancel(id));
+  EXPECT_FALSE(e.Cancel(id));
+  EXPECT_FALSE(e.Cancel(kInvalidEventId));
+}
+
+TEST(EngineTest, CancelAfterFireReturnsFalse) {
+  Engine e;
+  EventId id = e.ScheduleAt(1, [] {});
+  e.Run();
+  EXPECT_FALSE(e.Cancel(id));
+}
+
+TEST(EngineTest, RunUntilAdvancesClockWithoutEvents) {
+  Engine e;
+  e.RunUntil(Seconds(5));
+  EXPECT_EQ(e.now(), Seconds(5));
+}
+
+TEST(EngineTest, RunUntilLeavesFutureEvents) {
+  Engine e;
+  bool early = false, late = false;
+  e.ScheduleAt(Milliseconds(10), [&] { early = true; });
+  e.ScheduleAt(Milliseconds(100), [&] { late = true; });
+  e.RunUntil(Milliseconds(50));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(e.now(), Milliseconds(50));
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(EngineTest, RunForIsRelative) {
+  Engine e;
+  e.RunUntil(Milliseconds(10));
+  bool fired = false;
+  e.ScheduleAfter(Milliseconds(5), [&] { fired = true; });
+  e.RunFor(Milliseconds(5));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.now(), Milliseconds(15));
+}
+
+TEST(EngineTest, StopHaltsRun) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(i, [&] {
+      ++count;
+      if (count == 3) e.Stop();
+    });
+  }
+  e.Run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.pending_events(), 7u);
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) e.ScheduleAfter(1, recurse);
+  };
+  e.ScheduleAfter(0, recurse);
+  e.Run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(EngineTest, EventLimitGuardsLivelock) {
+  Engine e;
+  e.set_event_limit(50);
+  std::function<void()> forever = [&] { e.ScheduleAfter(1, forever); };
+  e.ScheduleAfter(0, forever);
+  e.Run();
+  EXPECT_TRUE(e.hit_event_limit());
+  EXPECT_EQ(e.processed_events(), 50u);
+}
+
+TEST(EngineTest, StepProcessesOneEvent) {
+  Engine e;
+  int count = 0;
+  e.ScheduleAt(1, [&] { ++count; });
+  e.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(e.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(e.Step());
+}
+
+TEST(EngineTest, CancelledEventsDontBlockRunUntil) {
+  Engine e;
+  EventId id = e.ScheduleAt(Milliseconds(1), [] {});
+  bool fired = false;
+  e.ScheduleAt(Milliseconds(2), [&] { fired = true; });
+  e.Cancel(id);
+  e.RunUntil(Milliseconds(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, PendingEventsCountsLiveOnly) {
+  Engine e;
+  EventId a = e.ScheduleAt(1, [] {});
+  e.ScheduleAt(2, [] {});
+  EXPECT_EQ(e.pending_events(), 2u);
+  e.Cancel(a);
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace kd::sim

@@ -1,0 +1,270 @@
+// Unit tests for the JSON-like Value type: construction, path access,
+// serialization round trips, hashing, and structural diff.
+#include <gtest/gtest.h>
+
+#include "model/value.h"
+
+namespace kd::model {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.Serialize(), "null");
+}
+
+TEST(ValueTest, ScalarConstruction) {
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("pod").as_string(), "pod");
+  EXPECT_EQ(Value(std::int64_t{1} << 40).as_int(), std::int64_t{1} << 40);
+}
+
+TEST(ValueTest, NumericCrossAccess) {
+  EXPECT_DOUBLE_EQ(Value(3).as_double(), 3.0);
+  EXPECT_EQ(Value(3.9).as_int(), 3);
+}
+
+TEST(ValueTest, MismatchedAccessReturnsZeroValues) {
+  Value v("string");
+  EXPECT_FALSE(v.as_bool());
+  EXPECT_EQ(v.as_int(), 0);
+  EXPECT_EQ(Value(5).as_string(), "");
+}
+
+TEST(ValueTest, ObjectIndexing) {
+  Value v = Value::MakeObject();
+  v["a"] = 1;
+  v["b"]["c"] = "deep";
+  EXPECT_EQ(v["a"].as_int(), 1);
+  EXPECT_EQ(v["b"]["c"].as_string(), "deep");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("z"));
+  EXPECT_TRUE(v["z"].is_null());  // const-access of missing key via mutable [] inserts; check const path
+}
+
+TEST(ValueTest, ConstIndexMissingKeyIsNull) {
+  const Value v = Value::MakeObject();
+  EXPECT_TRUE(v["missing"].is_null());
+  EXPECT_EQ(v.size(), 0u);  // const access did not insert
+}
+
+TEST(ValueTest, ArrayOperations) {
+  Value v = Value::MakeArray();
+  v.push_back(1);
+  v.push_back("two");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at(0).as_int(), 1);
+  EXPECT_EQ(v.at(1).as_string(), "two");
+  EXPECT_TRUE(v.at(99).is_null());
+}
+
+TEST(ValueTest, CopyIsDeep) {
+  Value a = Value::MakeObject();
+  a["x"]["y"] = 1;
+  Value b = a;
+  b["x"]["y"] = 2;
+  EXPECT_EQ(a["x"]["y"].as_int(), 1);
+  EXPECT_EQ(b["x"]["y"].as_int(), 2);
+}
+
+TEST(ValueTest, FindPath) {
+  Value v = Value::MakeObject();
+  v["spec"]["template"]["spec"]["nodeName"] = "worker1";
+  const Value* p = v.FindPath("spec.template.spec.nodeName");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->as_string(), "worker1");
+  EXPECT_EQ(v.FindPath("spec.missing.path"), nullptr);
+  EXPECT_EQ(v.FindPath("nonexistent"), nullptr);
+}
+
+TEST(ValueTest, FindPathSingleSegment) {
+  Value v = Value::MakeObject();
+  v["replicas"] = 5;
+  const Value* p = v.FindPath("replicas");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->as_int(), 5);
+}
+
+TEST(ValueTest, SetPathCreatesIntermediates) {
+  Value v = Value::MakeObject();
+  v.SetPath("spec.nodeName", Value("worker3"));
+  EXPECT_EQ(v["spec"]["nodeName"].as_string(), "worker3");
+  v.SetPath("spec.nodeName", Value("worker4"));
+  EXPECT_EQ(v["spec"]["nodeName"].as_string(), "worker4");
+}
+
+TEST(ValueTest, SetPathOverwritesScalarWithObject) {
+  Value v = Value::MakeObject();
+  v["spec"] = 5;
+  v.SetPath("spec.replicas", Value(3));
+  EXPECT_EQ(v["spec"]["replicas"].as_int(), 3);
+}
+
+TEST(ValueTest, ErasePath) {
+  Value v = Value::MakeObject();
+  v.SetPath("a.b.c", Value(1));
+  v.SetPath("a.b.d", Value(2));
+  EXPECT_TRUE(v.ErasePath("a.b.c"));
+  EXPECT_EQ(v.FindPath("a.b.c"), nullptr);
+  ASSERT_NE(v.FindPath("a.b.d"), nullptr);
+  EXPECT_FALSE(v.ErasePath("a.b.c"));
+  EXPECT_FALSE(v.ErasePath("nope.nope"));
+  EXPECT_TRUE(v.ErasePath("a"));
+  EXPECT_FALSE(v.contains("a"));
+}
+
+TEST(ValueTest, SerializeCompactAndSorted) {
+  Value v = Value::MakeObject();
+  v["b"] = 2;
+  v["a"] = 1;
+  EXPECT_EQ(v.Serialize(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(ValueTest, SerializeEscapes) {
+  Value v("line1\nline2\t\"quoted\"\\");
+  EXPECT_EQ(v.Serialize(), "\"line1\\nline2\\t\\\"quoted\\\"\\\\\"");
+}
+
+TEST(ValueTest, ParseRoundTripScalars) {
+  for (const std::string text :
+       {"null", "true", "false", "42", "-17", "2.5", "\"hello\"",
+        "\"esc\\n\\\"\""}) {
+    auto parsed = Value::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->Serialize(), text) << text;
+  }
+}
+
+TEST(ValueTest, ParseRoundTripNested) {
+  Value v = Value::MakeObject();
+  v["spec"]["replicas"] = 5;
+  v["spec"]["nodeName"] = "w1";
+  Value arr = Value::MakeArray();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(Value::MakeObject());
+  v["list"] = std::move(arr);
+  const std::string text = v.Serialize();
+  auto parsed = Value::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, v);
+  EXPECT_EQ(parsed->Serialize(), text);
+}
+
+TEST(ValueTest, ParseToleratesWhitespace) {
+  auto parsed = Value::Parse("  { \"a\" : [ 1 , 2 ] ,\n\"b\" : null }  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)["a"].size(), 2u);
+}
+
+TEST(ValueTest, ParseErrors) {
+  EXPECT_FALSE(Value::Parse("").ok());
+  EXPECT_FALSE(Value::Parse("{").ok());
+  EXPECT_FALSE(Value::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Value::Parse("[1,]").ok());
+  EXPECT_FALSE(Value::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Value::Parse("42 trailing").ok());
+  EXPECT_FALSE(Value::Parse("{\"a\":1} {}").ok());
+}
+
+TEST(ValueTest, EqualityStructural) {
+  Value a = Value::MakeObject();
+  a["x"] = 1;
+  Value b = Value::MakeObject();
+  b["x"] = 1;
+  EXPECT_EQ(a, b);
+  b["x"] = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(ValueTest, EqualityNumericCrossType) {
+  EXPECT_EQ(Value(5), Value(5.0));
+  EXPECT_NE(Value(5), Value(5.5));
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  Value a = Value::MakeObject();
+  a["n"] = 1;
+  a["s"] = "x";
+  Value b = a;
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b["n"] = 2;
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(ValueDiffTest, IdenticalProducesEmptyDiff) {
+  Value a = Value::MakeObject();
+  a["spec"]["replicas"] = 3;
+  EXPECT_TRUE(Value::Diff(a, a).empty());
+}
+
+TEST(ValueDiffTest, ChangedLeafReported) {
+  Value before = Value::MakeObject();
+  before["spec"]["replicas"] = 3;
+  Value after = before;
+  after["spec"]["replicas"] = 7;
+  auto diff = Value::Diff(before, after);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].first, "spec.replicas");
+  EXPECT_EQ(diff[0].second.as_int(), 7);
+}
+
+TEST(ValueDiffTest, AddedSubtreeReportedAtRootOfAddition) {
+  Value before = Value::MakeObject();
+  Value after = before;
+  after["status"]["phase"] = "Running";
+  auto diff = Value::Diff(before, after);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].first, "status");
+  EXPECT_EQ(diff[0].second["phase"].as_string(), "Running");
+}
+
+TEST(ValueDiffTest, RemovedKeyReportedAsNull) {
+  Value before = Value::MakeObject();
+  before["spec"]["nodeName"] = "w1";
+  before["spec"]["keep"] = 1;
+  Value after = before;
+  after["spec"].erase("nodeName");
+  auto diff = Value::Diff(before, after);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].first, "spec.nodeName");
+  EXPECT_TRUE(diff[0].second.is_null());
+}
+
+TEST(ValueDiffTest, ApplyingDiffReconstructsTarget) {
+  Value before = Value::MakeObject();
+  before["spec"]["a"] = 1;
+  before["spec"]["b"] = "x";
+  before["status"]["phase"] = "Pending";
+  Value after = before;
+  after["spec"]["a"] = 2;
+  after["status"]["phase"] = "Running";
+  after["status"]["podIP"] = "10.0.0.9";
+  after["spec"].erase("b");
+
+  Value rebuilt = before;
+  for (const auto& [path, value] : Value::Diff(before, after)) {
+    if (value.is_null()) {
+      rebuilt.ErasePath(path);
+    } else {
+      rebuilt.SetPath(path, value);
+    }
+  }
+  EXPECT_EQ(rebuilt, after);
+}
+
+TEST(ValueDiffTest, ScalarToObjectReportedWhole) {
+  Value before = Value::MakeObject();
+  before["x"] = 5;
+  Value after = Value::MakeObject();
+  after["x"]["nested"] = true;
+  auto diff = Value::Diff(before, after);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].first, "x");
+  EXPECT_TRUE(diff[0].second.is_object());
+}
+
+}  // namespace
+}  // namespace kd::model
