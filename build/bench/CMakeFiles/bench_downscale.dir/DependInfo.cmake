@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_downscale.cc" "bench/CMakeFiles/bench_downscale.dir/bench_downscale.cc.o" "gcc" "bench/CMakeFiles/bench_downscale.dir/bench_downscale.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/kd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/kd_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/kd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/controllers/CMakeFiles/kd_controllers.dir/DependInfo.cmake"
+  "/root/repo/build/src/kubedirect/CMakeFiles/kd_kubedirect.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/kd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/apiserver/CMakeFiles/kd_apiserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/kd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

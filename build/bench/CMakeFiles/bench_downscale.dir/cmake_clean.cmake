@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_downscale.dir/bench_downscale.cc.o"
+  "CMakeFiles/bench_downscale.dir/bench_downscale.cc.o.d"
+  "bench_downscale"
+  "bench_downscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_downscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_dirigent.dir/bench_e2e_dirigent.cc.o"
+  "CMakeFiles/bench_e2e_dirigent.dir/bench_e2e_dirigent.cc.o.d"
+  "bench_e2e_dirigent"
+  "bench_e2e_dirigent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_dirigent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

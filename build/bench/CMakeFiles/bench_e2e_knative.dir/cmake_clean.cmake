@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_knative.dir/bench_e2e_knative.cc.o"
+  "CMakeFiles/bench_e2e_knative.dir/bench_e2e_knative.cc.o.d"
+  "bench_e2e_knative"
+  "bench_e2e_knative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_knative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

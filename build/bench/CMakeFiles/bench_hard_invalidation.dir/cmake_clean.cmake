@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hard_invalidation.dir/bench_hard_invalidation.cc.o"
+  "CMakeFiles/bench_hard_invalidation.dir/bench_hard_invalidation.cc.o.d"
+  "bench_hard_invalidation"
+  "bench_hard_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hard_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hard_invalidation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_k_scalability.dir/bench_k_scalability.cc.o"
+  "CMakeFiles/bench_k_scalability.dir/bench_k_scalability.cc.o.d"
+  "bench_k_scalability"
+  "bench_k_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_n_scalability.dir/bench_n_scalability.cc.o"
+  "CMakeFiles/bench_n_scalability.dir/bench_n_scalability.cc.o.d"
+  "bench_n_scalability"
+  "bench_n_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_n_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

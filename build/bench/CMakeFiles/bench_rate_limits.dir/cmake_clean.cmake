@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_limits.dir/bench_rate_limits.cc.o"
+  "CMakeFiles/bench_rate_limits.dir/bench_rate_limits.cc.o.d"
+  "bench_rate_limits"
+  "bench_rate_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soft_invalidation.dir/bench_soft_invalidation.cc.o"
+  "CMakeFiles/bench_soft_invalidation.dir/bench_soft_invalidation.cc.o.d"
+  "bench_soft_invalidation"
+  "bench_soft_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soft_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_faas.dir/bursty_faas.cpp.o"
+  "CMakeFiles/bursty_faas.dir/bursty_faas.cpp.o.d"
+  "bursty_faas"
+  "bursty_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemption.dir/preemption.cpp.o"
+  "CMakeFiles/preemption.dir/preemption.cpp.o.d"
+  "preemption"
+  "preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

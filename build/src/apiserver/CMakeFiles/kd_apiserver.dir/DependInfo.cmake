@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apiserver/apiserver.cc" "src/apiserver/CMakeFiles/kd_apiserver.dir/apiserver.cc.o" "gcc" "src/apiserver/CMakeFiles/kd_apiserver.dir/apiserver.cc.o.d"
+  "/root/repo/src/apiserver/client.cc" "src/apiserver/CMakeFiles/kd_apiserver.dir/client.cc.o" "gcc" "src/apiserver/CMakeFiles/kd_apiserver.dir/client.cc.o.d"
+  "/root/repo/src/apiserver/rate_limiter.cc" "src/apiserver/CMakeFiles/kd_apiserver.dir/rate_limiter.cc.o" "gcc" "src/apiserver/CMakeFiles/kd_apiserver.dir/rate_limiter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/kd_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

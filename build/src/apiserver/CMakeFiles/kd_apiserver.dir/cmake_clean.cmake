@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_apiserver.dir/apiserver.cc.o"
+  "CMakeFiles/kd_apiserver.dir/apiserver.cc.o.d"
+  "CMakeFiles/kd_apiserver.dir/client.cc.o"
+  "CMakeFiles/kd_apiserver.dir/client.cc.o.d"
+  "CMakeFiles/kd_apiserver.dir/rate_limiter.cc.o"
+  "CMakeFiles/kd_apiserver.dir/rate_limiter.cc.o.d"
+  "libkd_apiserver.a"
+  "libkd_apiserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_apiserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

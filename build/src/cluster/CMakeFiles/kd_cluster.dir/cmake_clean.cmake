@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_cluster.dir/cluster.cc.o"
+  "CMakeFiles/kd_cluster.dir/cluster.cc.o.d"
+  "libkd_cluster.a"
+  "libkd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

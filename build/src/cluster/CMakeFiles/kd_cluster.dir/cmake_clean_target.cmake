@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkd_cluster.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_common.dir/cost_model.cc.o"
+  "CMakeFiles/kd_common.dir/cost_model.cc.o.d"
+  "CMakeFiles/kd_common.dir/logging.cc.o"
+  "CMakeFiles/kd_common.dir/logging.cc.o.d"
+  "CMakeFiles/kd_common.dir/metrics.cc.o"
+  "CMakeFiles/kd_common.dir/metrics.cc.o.d"
+  "CMakeFiles/kd_common.dir/status.cc.o"
+  "CMakeFiles/kd_common.dir/status.cc.o.d"
+  "CMakeFiles/kd_common.dir/strings.cc.o"
+  "CMakeFiles/kd_common.dir/strings.cc.o.d"
+  "CMakeFiles/kd_common.dir/time.cc.o"
+  "CMakeFiles/kd_common.dir/time.cc.o.d"
+  "libkd_common.a"
+  "libkd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

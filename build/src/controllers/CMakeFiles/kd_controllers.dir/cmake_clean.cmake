@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_controllers.dir/autoscaler.cc.o"
+  "CMakeFiles/kd_controllers.dir/autoscaler.cc.o.d"
+  "CMakeFiles/kd_controllers.dir/deployment_controller.cc.o"
+  "CMakeFiles/kd_controllers.dir/deployment_controller.cc.o.d"
+  "CMakeFiles/kd_controllers.dir/kubelet.cc.o"
+  "CMakeFiles/kd_controllers.dir/kubelet.cc.o.d"
+  "CMakeFiles/kd_controllers.dir/replicaset_controller.cc.o"
+  "CMakeFiles/kd_controllers.dir/replicaset_controller.cc.o.d"
+  "CMakeFiles/kd_controllers.dir/scheduler.cc.o"
+  "CMakeFiles/kd_controllers.dir/scheduler.cc.o.d"
+  "libkd_controllers.a"
+  "libkd_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_faas.dir/backend.cc.o"
+  "CMakeFiles/kd_faas.dir/backend.cc.o.d"
+  "CMakeFiles/kd_faas.dir/gateway.cc.o"
+  "CMakeFiles/kd_faas.dir/gateway.cc.o.d"
+  "CMakeFiles/kd_faas.dir/platform.cc.o"
+  "CMakeFiles/kd_faas.dir/platform.cc.o.d"
+  "CMakeFiles/kd_faas.dir/policy.cc.o"
+  "CMakeFiles/kd_faas.dir/policy.cc.o.d"
+  "libkd_faas.a"
+  "libkd_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

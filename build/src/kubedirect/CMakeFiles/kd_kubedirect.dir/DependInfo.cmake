@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kubedirect/hierarchy.cc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/hierarchy.cc.o" "gcc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/hierarchy.cc.o.d"
+  "/root/repo/src/kubedirect/link.cc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/link.cc.o" "gcc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/link.cc.o.d"
+  "/root/repo/src/kubedirect/materialize.cc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/materialize.cc.o" "gcc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/materialize.cc.o.d"
+  "/root/repo/src/kubedirect/message.cc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/message.cc.o" "gcc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/message.cc.o.d"
+  "/root/repo/src/kubedirect/ownership.cc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/ownership.cc.o" "gcc" "src/kubedirect/CMakeFiles/kd_kubedirect.dir/ownership.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/kd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/kd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/apiserver/CMakeFiles/kd_apiserver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_kubedirect.dir/hierarchy.cc.o"
+  "CMakeFiles/kd_kubedirect.dir/hierarchy.cc.o.d"
+  "CMakeFiles/kd_kubedirect.dir/link.cc.o"
+  "CMakeFiles/kd_kubedirect.dir/link.cc.o.d"
+  "CMakeFiles/kd_kubedirect.dir/materialize.cc.o"
+  "CMakeFiles/kd_kubedirect.dir/materialize.cc.o.d"
+  "CMakeFiles/kd_kubedirect.dir/message.cc.o"
+  "CMakeFiles/kd_kubedirect.dir/message.cc.o.d"
+  "CMakeFiles/kd_kubedirect.dir/ownership.cc.o"
+  "CMakeFiles/kd_kubedirect.dir/ownership.cc.o.d"
+  "libkd_kubedirect.a"
+  "libkd_kubedirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_kubedirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

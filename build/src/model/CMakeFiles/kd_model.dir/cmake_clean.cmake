@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_model.dir/objects.cc.o"
+  "CMakeFiles/kd_model.dir/objects.cc.o.d"
+  "CMakeFiles/kd_model.dir/value.cc.o"
+  "CMakeFiles/kd_model.dir/value.cc.o.d"
+  "libkd_model.a"
+  "libkd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

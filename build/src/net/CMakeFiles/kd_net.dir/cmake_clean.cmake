@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_net.dir/network.cc.o"
+  "CMakeFiles/kd_net.dir/network.cc.o.d"
+  "libkd_net.a"
+  "libkd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

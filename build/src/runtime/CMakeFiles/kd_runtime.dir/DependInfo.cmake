@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cache.cc" "src/runtime/CMakeFiles/kd_runtime.dir/cache.cc.o" "gcc" "src/runtime/CMakeFiles/kd_runtime.dir/cache.cc.o.d"
+  "/root/repo/src/runtime/control_loop.cc" "src/runtime/CMakeFiles/kd_runtime.dir/control_loop.cc.o" "gcc" "src/runtime/CMakeFiles/kd_runtime.dir/control_loop.cc.o.d"
+  "/root/repo/src/runtime/informer.cc" "src/runtime/CMakeFiles/kd_runtime.dir/informer.cc.o" "gcc" "src/runtime/CMakeFiles/kd_runtime.dir/informer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/kd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/apiserver/CMakeFiles/kd_apiserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kd_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_runtime.dir/cache.cc.o"
+  "CMakeFiles/kd_runtime.dir/cache.cc.o.d"
+  "CMakeFiles/kd_runtime.dir/control_loop.cc.o"
+  "CMakeFiles/kd_runtime.dir/control_loop.cc.o.d"
+  "CMakeFiles/kd_runtime.dir/informer.cc.o"
+  "CMakeFiles/kd_runtime.dir/informer.cc.o.d"
+  "libkd_runtime.a"
+  "libkd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_trace.dir/azure.cc.o"
+  "CMakeFiles/kd_trace.dir/azure.cc.o.d"
+  "libkd_trace.a"
+  "libkd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

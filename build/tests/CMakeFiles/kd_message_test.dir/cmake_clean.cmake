@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_message_test.dir/kd_message_test.cc.o"
+  "CMakeFiles/kd_message_test.dir/kd_message_test.cc.o.d"
+  "kd_message_test"
+  "kd_message_test.pdb"
+  "kd_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
