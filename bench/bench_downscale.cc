@@ -76,10 +76,19 @@ void PrintTable() {
   }
 }
 
+
+// --smoke: scale-to-zero round trip on two variants.
+int RunSmoke() {
+  const Duration k8s = RunDownscale(ClusterConfig::K8s(8), 2, 1, 0);
+  const Duration kd = RunDownscale(ClusterConfig::Kd(8), 2, 1, 0);
+  return SmokeVerdict(k8s >= 0 && kd >= 0, "downscale (K8s + Kd)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintTable();

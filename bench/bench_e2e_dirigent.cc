@@ -77,10 +77,28 @@ void PrintFigure13() {
   }
 }
 
+
+// --smoke: a 30-second clip on Dr/Kd+ and the Dirigent reference.
+int RunSmoke() {
+  E2eConfig config;
+  config.variant = "Dr/Kd+";
+  config.num_nodes = 8;
+  config.trace.num_functions = 5;
+  config.trace.length = Seconds(30);
+  config.trace.target_invocations = 60;
+  const E2eResult kd = RunE2eWorkload(config);
+  config.variant = "Dirigent";
+  const E2eResult dirigent = RunE2eWorkload(config);
+  return SmokeVerdict(kd.report.completed_requests > 0 &&
+                          dirigent.report.completed_requests > 0,
+                      "e2e dirigent (Dr/Kd+ + Dirigent clip)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintFigure13();

@@ -76,10 +76,26 @@ void PrintFigure12() {
   }
 }
 
+
+// --smoke: a 30-second clip on the Kn/Kd stack at tiny scale.
+int RunSmoke() {
+  E2eConfig config;
+  config.variant = "Kn/Kd";
+  config.num_nodes = 8;
+  config.trace.num_functions = 5;
+  config.trace.length = Seconds(30);
+  config.trace.target_invocations = 60;
+  const E2eResult result = RunE2eWorkload(config);
+  return SmokeVerdict(result.report.total_requests > 0 &&
+                          result.report.completed_requests > 0,
+                      "e2e knative (Kn/Kd clip)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintFigure12();

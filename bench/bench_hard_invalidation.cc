@@ -140,10 +140,21 @@ void PrintFigure15() {
   }
 }
 
+
+// --smoke: one stateful and one level-triggered recovery at tiny scale.
+int RunSmoke() {
+  const Duration rs = MeasureRecovery("replicaset", 8, 16);
+  const Duration sched = MeasureRecovery("scheduler", 8, 16);
+  const Duration autoscaler = MeasureRecovery("autoscaler", 4, 4);
+  return SmokeVerdict(rs >= 0 && sched >= 0 && autoscaler >= 0,
+                      "hard invalidation (crash-restart handshakes)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintFigure15();

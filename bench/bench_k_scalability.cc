@@ -104,10 +104,20 @@ void PrintFigure10() {
   }
 }
 
+
+// --smoke: many functions x 1 pod at tiny K/M.
+int RunSmoke() {
+  const UpscaleResult k8s = RunUpscale(ClusterConfig::K8s(8), 8, 8);
+  const UpscaleResult kd = RunUpscale(ClusterConfig::Kd(8), 8, 8);
+  return SmokeVerdict(k8s.converged && kd.converged,
+                      "k-scalability (K8s + Kd fan-out)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintFigure10();

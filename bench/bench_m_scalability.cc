@@ -60,10 +60,21 @@ void PrintFigure11() {
   }
 }
 
+
+// --smoke: the Fig. 11 shape at M=40.
+int RunSmoke() {
+  ClusterConfig config = ClusterConfig::Kd(40);
+  config.realistic_pod_template = false;
+  const UpscaleResult result =
+      RunUpscale(std::move(config), 1, 40 * kPodsPerNode, Minutes(60));
+  return SmokeVerdict(result.converged, "m-scalability (Kd M=40)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintFigure11();

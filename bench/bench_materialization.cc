@@ -64,10 +64,23 @@ void PrintFigure14() {
   }
 }
 
+
+// --smoke: both materialization modes at tiny K.
+int RunSmoke() {
+  ClusterConfig kd = ClusterConfig::Kd(8);
+  ClusterConfig naive = ClusterConfig::Kd(8);
+  naive.cost.kd_naive_full_objects = true;
+  const UpscaleResult a = RunUpscale(std::move(kd), 4, 4);
+  const UpscaleResult b = RunUpscale(std::move(naive), 4, 4);
+  return SmokeVerdict(a.converged && b.converged,
+                      "materialization (pointer + naive)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintFigure14();

@@ -87,10 +87,20 @@ void PrintFigure3() {
       k8s_per_minute);
 }
 
+
+// --smoke: tiny K8s breakdown + the Fig. 3b curve shape.
+int RunSmoke() {
+  const UpscaleResult result = RunUpscale(ClusterConfig::K8s(8), 4, 4);
+  const auto curve = trace::ColdStartRateCurve(/*minutes=*/60);
+  return SmokeVerdict(result.converged && curve.size() == 60,
+                      "motivation (K8s breakdown + cold-start curve)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintFigure3();

@@ -101,10 +101,20 @@ void PrintFigure9() {
   }
 }
 
+
+// --smoke: one K8s and one Kd point at tiny N/M.
+int RunSmoke() {
+  const UpscaleResult k8s = RunUpscale(ClusterConfig::K8s(8), 1, 16);
+  const UpscaleResult kd = RunUpscale(ClusterConfig::Kd(8), 1, 16);
+  return SmokeVerdict(k8s.converged && kd.converged,
+                      "n-scalability (K8s + Kd upscale)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintFigure9();

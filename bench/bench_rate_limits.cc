@@ -80,10 +80,23 @@ void PrintTable() {
       "no added load on the shared store, no tuning required.\n");
 }
 
+
+// --smoke: one sweep point + the Kd reference at tiny N.
+int RunSmoke() {
+  ClusterConfig k8s = ClusterConfig::K8s(8);
+  k8s.cost.controller_qps = 20;
+  k8s.cost.controller_burst = 30;
+  const UpscaleResult a = RunUpscale(std::move(k8s), 1, 16);
+  const UpscaleResult b = RunUpscale(ClusterConfig::Kd(8), 1, 16);
+  return SmokeVerdict(a.converged && b.converged,
+                      "rate limits (K8s sweep point + Kd)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintTable();

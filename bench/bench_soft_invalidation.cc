@@ -127,10 +127,21 @@ void PrintTable() {
   PrintRow({"standard API call", Ms(preemption.api_call)});
 }
 
+
+// --smoke: the full table, which is already tiny.
+int RunSmoke() {
+  const Duration hop = MeasureOneHop();
+  const PreemptResult preemption = MeasurePreemption();
+  return SmokeVerdict(hop >= 0 && preemption.preempt >= 0 &&
+                          preemption.api_call >= 0,
+                      "soft invalidation (hop + preemption)");
+}
+
 }  // namespace
 }  // namespace kd::bench
 
 int main(int argc, char** argv) {
+  if (kd::bench::ConsumeSmokeFlag(argc, argv)) return kd::bench::RunSmoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   kd::bench::PrintTable();

@@ -19,6 +19,32 @@
 
 namespace kd::bench {
 
+// --- smoke mode ---------------------------------------------------------
+// Every bench binary accepts --smoke: a tiny-N/K/M configuration that
+// finishes in a couple of seconds and is registered as a ctest entry
+// (label: bench_smoke), so the benchmark code is exercised on every
+// test run and cannot silently rot. Returns true if the flag was
+// present; the flag is stripped from argv either way.
+inline bool ConsumeSmokeFlag(int& argc, char** argv) {
+  bool smoke = false;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::string(argv[r]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  return smoke;
+}
+
+// Prints a smoke-check verdict and converts it to a process exit code.
+inline int SmokeVerdict(bool ok, const std::string& what) {
+  std::printf("[smoke] %s: %s\n", what.c_str(), ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 // One upscaling experiment: K functions x (N/K) pods each on M nodes,
 // one-shot strawman autoscaler calls (§6.1 methodology). Returns the
 // end-to-end latency and the per-controller stage spans.

@@ -35,8 +35,33 @@ ReplicaSetController::ReplicaSetController(runtime::Env& env, Mode mode)
                                      const ApiObject* after) {
     const ApiObject* obj = after != nullptr ? after : before;
     if (obj == nullptr || obj->kind != kKindPod) return;
+    // Keep the owner index and live count in lockstep with cache
+    // visibility. The handler fires on every visible mutation
+    // (including invalidation, after == nullptr), so index membership
+    // == List visibility. live = visible && !Terminating &&
+    // !tombstoned; the tombstone predicate transitions are accounted
+    // at their own call sites (DeletePods / GcTombstone).
+    if (before != nullptr) {
+      const std::string prev = model::GetOwnerName(*before);
+      if (!prev.empty()) {
+        auto it = owned_pods_.find(prev);
+        if (it != owned_pods_.end()) {
+          it->second.erase(key);
+          if (it->second.empty()) owned_pods_.erase(it);
+        }
+        if (!model::IsTerminating(*before) && !tombstones_.Has(key)) {
+          --live_owned_[prev];
+        }
+      }
+    }
     const std::string owner = model::GetOwnerName(*obj);
     if (owner.empty()) return;
+    if (after != nullptr) {
+      owned_pods_[owner].insert(key);
+      if (!model::IsTerminating(*after) && !tombstones_.Has(key)) {
+        ++live_owned_[owner];
+      }
+    }
     const std::string rs_key = ApiObject::MakeKey(kKindReplicaSet, owner);
     if (mode_ == Mode::kK8s) {
       // Expectations: an observed add/delete settles one in-flight op.
@@ -122,8 +147,22 @@ void ReplicaSetController::OnDownstreamRemove(const std::string& pod_key) {
   EnqueueOwnerOf(pod_key);
   pod_cache_.Remove(pod_key);
   pod_cache_.DropInvalid(pod_key);
-  tombstones_.Gc(pod_key);
+  GcTombstone(pod_key);
   if (downstream_) downstream_->SendAck(pod_key);
+}
+
+void ReplicaSetController::GcTombstone(const std::string& pod_key) {
+  if (!tombstones_.Has(pod_key)) return;
+  tombstones_.Gc(pod_key);
+  // If the pod were somehow still live in the cache it would re-enter
+  // the live count here. Defensive: on every current path the pod is
+  // already removed or invalid-hidden by the time its tombstone is
+  // collected, so this is a no-op.
+  const ApiObject* pod = pod_cache_.Get(pod_key);
+  if (pod != nullptr && !model::IsTerminating(*pod)) {
+    const std::string owner = model::GetOwnerName(*pod);
+    if (!owner.empty()) ++live_owned_[owner];
+  }
 }
 
 void ReplicaSetController::OnDownstreamReady(
@@ -134,7 +173,7 @@ void ReplicaSetController::OnDownstreamReady(
   for (const std::string& key : changes.invalidated) {
     // A tombstoned pod that the downstream no longer holds is exactly
     // the "locally present but not downstream" GC condition of §4.3.
-    tombstones_.Gc(key);
+    GcTombstone(key);
     pod_cache_.DropInvalid(key);
   }
   for (const std::string& key : changes.updated) EnqueueOwnerOf(key);
@@ -166,18 +205,15 @@ Duration ReplicaSetController::Reconcile(const std::string& rs_key) {
     desired = model::GetReplicas(*rs);
   }
 
-  // Count live pods owned by this RS, excluding tombstoned ones
-  // (awaiting termination — they neither count as capacity nor get
-  // replaced, §4.3's anti-thrashing rule).
-  std::vector<const ApiObject*> owned;
-  for (const ApiObject* pod : pod_cache_.List(kKindPod)) {
-    if (model::GetOwnerName(*pod) != rs->name) continue;
-    if (tombstones_.Has(pod->Key())) continue;
-    if (model::IsTerminating(*pod)) continue;
-    owned.push_back(pod);
+  // Live pods owned by this RS: visible, not Terminating, and not
+  // tombstoned (awaiting termination — they neither count as capacity
+  // nor get replaced, §4.3's anti-thrashing rule). The count is
+  // maintained incrementally, so the common reconcile is O(1); only an
+  // actual downscale walks the owned set to pick victims.
+  std::int64_t effective = 0;
+  if (auto it = live_owned_.find(rs->name); it != live_owned_.end()) {
+    effective = it->second;
   }
-
-  std::int64_t effective = static_cast<std::int64_t>(owned.size());
   if (mode_ == Mode::kK8s) {
     effective += pending_creates_[rs_key];
     effective -= pending_deletes_[rs_key];
@@ -187,12 +223,26 @@ Duration ReplicaSetController::Reconcile(const std::string& rs_key) {
   if (effective < desired) {
     CreatePods(*rs, desired - effective);
   } else if (effective > desired) {
+    // Materialize the live set the counter describes (key order, same
+    // as the old full-List filter produced).
+    std::vector<const ApiObject*> owned;
+    if (auto idx = owned_pods_.find(rs->name); idx != owned_pods_.end()) {
+      owned.reserve(idx->second.size());
+      for (const std::string& pod_key : idx->second) {
+        const ApiObject* pod = pod_cache_.Get(pod_key);
+        if (pod == nullptr) continue;  // stale after a handler-less Clear
+        if (tombstones_.Has(pod_key)) continue;
+        if (model::IsTerminating(*pod)) continue;
+        owned.push_back(pod);
+      }
+    }
     // Newest-first victim selection (standard ReplicaSet behaviour).
     std::sort(owned.begin(), owned.end(),
               [](const ApiObject* a, const ApiObject* b) {
                 return a->name > b->name;
               });
-    owned.resize(static_cast<std::size_t>(effective - desired));
+    owned.resize(std::min(static_cast<std::size_t>(effective - desired),
+                          owned.size()));
     DeletePods(*rs, std::move(owned));
   }
   env_.metrics.MarkStop("replicaset", env_.engine.now());
@@ -244,8 +294,14 @@ void ReplicaSetController::DeletePods(
     const std::string pod_key = victim->Key();
     env_.metrics.Count("pods_deleted");
     if (mode_ == Mode::kKd) {
-      // Asynchronous termination via tombstone replication (§4.3).
-      tombstones_.Add(pod_key, env_.engine.now());
+      // Asynchronous termination via tombstone replication (§4.3). The
+      // victim leaves the live count the moment the intent is recorded
+      // (victims are selected from the live set, so the guard only
+      // protects against double-tombstoning).
+      if (!tombstones_.Has(pod_key)) {
+        tombstones_.Add(pod_key, env_.engine.now());
+        --live_owned_[rs.name];
+      }
       if (downstream_ && downstream_->ready()) {
         downstream_->SendTombstone(pod_key);
       }
@@ -268,10 +324,11 @@ void ReplicaSetController::DeletePods(
 std::size_t ReplicaSetController::OwnedPodCount(
     const std::string& rs_name) const {
   std::size_t n = 0;
-  for (const ApiObject* pod : pod_cache_.List(kKindPod)) {
-    if (model::GetOwnerName(*pod) == rs_name &&
-        !tombstones_.Has(pod->Key())) {
-      ++n;
+  if (auto idx = owned_pods_.find(rs_name); idx != owned_pods_.end()) {
+    for (const std::string& pod_key : idx->second) {
+      if (pod_cache_.Get(pod_key) != nullptr && !tombstones_.Has(pod_key)) {
+        ++n;
+      }
     }
   }
   return n;
@@ -284,7 +341,9 @@ void ReplicaSetController::Crash() {
   pending_creates_.clear();
   pending_deletes_.clear();
   rs_cache_.Clear();
-  pod_cache_.Clear();
+  pod_cache_.Clear();  // Clear() fires no handlers: reset the indexes too
+  owned_pods_.clear();
+  live_owned_.clear();
   loop_.Clear();
   informer_.Stop();
   pod_informer_.Stop();

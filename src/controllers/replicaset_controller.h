@@ -62,6 +62,7 @@ class ReplicaSetController {
   void OnScaleMessage(const kubedirect::KdMessage& msg);
   void OnDownstreamRemove(const std::string& pod_key);
   void OnDownstreamReady(const kubedirect::ChangeSet& changes);
+  void GcTombstone(const std::string& pod_key);
   void EnqueueOwnerOf(const std::string& pod_key);
   std::string NextPodName(const std::string& rs_name);
 
@@ -77,6 +78,21 @@ class ReplicaSetController {
   // Kd: desired replicas per RS key, fed by the Deployment controller.
   std::map<std::string, std::int64_t> desired_;
   kubedirect::TombstoneTracker tombstones_;
+
+  // Owner index: RS name -> keys of visible owned pods, maintained in
+  // lockstep with pod_cache_ by its change handler. Reconcile reads
+  // this instead of filtering a full List(kKindPod) — the full scan
+  // made every reconcile O(total pods) and dominated large-M runs.
+  // Sorted set keeps iteration in key order, matching what the List
+  // filter produced. A stale key whose pod has since vanished without
+  // a handler firing (cache Clear) is skipped via Get() == nullptr.
+  std::map<std::string, std::set<std::string>> owned_pods_;
+  // RS name -> count of live owned pods: visible, not Terminating, not
+  // tombstoned. Maintained at the three predicate transition points
+  // (cache change handler, tombstone add, tombstone gc) so the common
+  // reconcile reads a counter instead of re-filtering the owned set —
+  // scaling one RS to N pods is then O(N) reconciles, not O(N^2) scans.
+  std::map<std::string, std::int64_t> live_owned_;
 
   // K8s: in-flight creates/deletes per RS key (client-go expectations).
   std::map<std::string, std::int64_t> pending_creates_;

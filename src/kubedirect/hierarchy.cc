@@ -53,7 +53,10 @@ void HierarchyClient::Connect() {
   if (!started_ || connecting_) return;
   connecting_ = true;
   const std::uint64_t epoch = epoch_;
-  endpoint_.Connect(peer_, [this, epoch](StatusOr<net::ConnHandlePtr> r) {
+  std::weak_ptr<const bool> alive = alive_;
+  endpoint_.Connect(peer_, [this, epoch,
+                            alive](StatusOr<net::ConnHandlePtr> r) {
+    if (alive.expired()) return;
     connecting_ = false;
     if (epoch != epoch_ || !started_) return;
     if (!r.ok()) {
@@ -63,7 +66,8 @@ void HierarchyClient::Connect() {
       const Duration delay = backoff_;
       backoff_ = std::min<Duration>(backoff_ * 2,
                                     cost_.kd_reconnect_backoff * 64);
-      engine_.ScheduleAfter(delay, [this, epoch] {
+      engine_.ScheduleAfter(delay, [this, epoch, alive] {
+        if (alive.expired()) return;
         if (epoch == epoch_ && started_) Connect();
       });
       return;
@@ -91,7 +95,9 @@ void HierarchyClient::OnDisconnect() {
   if (was_ready && callbacks_.on_down) callbacks_.on_down();
   if (started_) {
     const std::uint64_t epoch = epoch_;
-    engine_.ScheduleAfter(backoff_, [this, epoch] {
+    std::weak_ptr<const bool> alive = alive_;
+    engine_.ScheduleAfter(backoff_, [this, epoch, alive] {
+      if (alive.expired()) return;
       if (epoch == epoch_ && started_) Connect();
     });
   }

@@ -132,6 +132,13 @@ class HierarchyClient {
   bool connecting_ = false;
   Duration backoff_;
   std::uint64_t epoch_ = 0;  // bumped by Stop/disconnect; stale events abort
+  // Lifetime guard: connect callbacks and backoff retries are held by
+  // the network/engine and can fire after this client is destroyed
+  // (e.g. the Scheduler drops a node's state while a reconnect is
+  // pending). They capture a weak_ptr to this token and bail once it
+  // expires; `epoch_` alone cannot help — reading it would already
+  // touch freed memory.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 
   // Handshake in progress:
   ChangeSet pending_changes_;

@@ -32,6 +32,17 @@ std::string ApiObject::Serialize() const {
   return root.Serialize();
 }
 
+std::size_t ApiObject::SerializedSize() const {
+  // Mirrors Serialize() exactly: a root object whose keys sort to
+  // kind, metadata, name, resourceVersion, spec, status. Fixed costs:
+  // 2 braces + 5 commas + 6 colons + the six quoted keys
+  // (6+10+6+17+6+8 = 53 bytes) = 66.
+  return 66 + JsonStringSize(kind) + JsonStringSize(name) +
+         JsonIntSize(static_cast<std::int64_t>(resource_version)) +
+         metadata.SerializedSize() + spec.SerializedSize() +
+         status.SerializedSize();
+}
+
 StatusOr<ApiObject> ApiObject::Parse(const std::string& text) {
   StatusOr<Value> root = Value::Parse(text);
   if (!root.ok()) return root.status();

@@ -53,7 +53,10 @@ struct ApiObject {
   // the "naive direct message passing" ablation (Fig. 14) ships.
   std::string Serialize() const;
   static StatusOr<ApiObject> Parse(const std::string& text);
-  std::size_t SerializedSize() const { return Serialize().size(); }
+  // Byte length of Serialize(), computed as a component sum so the
+  // metadata/spec/status subtrees answer from their memoized sizes
+  // instead of re-serializing ~17 KB per simulated network message.
+  std::size_t SerializedSize() const;
 
   // Version tag for the handshake's first-round exchange: any unique
   // number identifying the content (§4.2 — "they can be any unique

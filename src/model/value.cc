@@ -10,47 +10,90 @@ namespace kd::model {
 
 namespace {
 const Value kNullValue;
+const Value::Array kEmptyArray;
+const Value::Object kEmptyObject;
 }  // namespace
 
+Value::Data& Value::MutableData() {
+  if (data_.use_count() > 1) data_ = std::make_shared<Data>(*data_);
+  data_->cached_size = 0;
+  return *data_;
+}
+
+Value::Data& Value::MutableDataAs(Type t) {
+  if (type_ != t) {
+    type_ = t;
+    bool_ = false;
+    int_ = 0;
+    double_ = 0.0;
+    switch (t) {
+      case Type::kString: data_ = std::make_shared<Data>(std::string()); break;
+      case Type::kArray: data_ = std::make_shared<Data>(Array{}); break;
+      case Type::kObject: data_ = std::make_shared<Data>(Object{}); break;
+      default: data_.reset(); break;
+    }
+    return *data_;
+  }
+  return MutableData();
+}
+
 std::size_t Value::size() const {
-  if (is_array()) return array_.size();
-  if (is_object()) return object_.size();
+  if (is_array()) return data_->array.size();
+  if (is_object()) return data_->object.size();
   return 0;
 }
 
 const Value& Value::at(std::size_t i) const {
-  static const Value kNull;
-  if (!is_array() || i >= array_.size()) return kNull;
-  return array_[i];
+  if (!is_array() || i >= data_->array.size()) return kNullValue;
+  return data_->array[i];
 }
 
-Value& Value::at(std::size_t i) { return array_[i]; }
+Value& Value::at(std::size_t i) {
+  // Defensive like the const overload: out-of-range (or non-array)
+  // access yields a scratch null whose writes are discarded, instead of
+  // indexing past the end.
+  if (!is_array() || i >= data_->array.size()) {
+    static thread_local Value scratch;
+    scratch = Value();
+    return scratch;
+  }
+  return MutableData().array[i];
+}
 
 void Value::push_back(Value v) {
-  if (!is_array()) {
-    type_ = Type::kArray;
-    array_.clear();
-  }
-  array_.push_back(std::move(v));
+  MutableDataAs(Type::kArray).array.push_back(std::move(v));
 }
+
+const Value::Array& Value::array() const {
+  return is_array() ? data_->array : kEmptyArray;
+}
+
+Value::Array& Value::array() { return MutableDataAs(Type::kArray).array; }
 
 const Value& Value::operator[](const std::string& key) const {
   if (!is_object()) return kNullValue;
-  auto it = object_.find(key);
-  return it == object_.end() ? kNullValue : it->second;
+  auto it = data_->object.find(key);
+  return it == data_->object.end() ? kNullValue : it->second;
 }
 
 Value& Value::operator[](const std::string& key) {
-  if (!is_object()) {
-    type_ = Type::kObject;
-    object_.clear();
-  }
-  return object_[key];
+  return MutableDataAs(Type::kObject).object[key];
 }
 
 bool Value::contains(const std::string& key) const {
-  return is_object() && object_.count(key) > 0;
+  return is_object() && data_->object.count(key) > 0;
 }
+
+void Value::erase(const std::string& key) {
+  if (!is_object()) return;
+  MutableData().object.erase(key);
+}
+
+const Value::Object& Value::object() const {
+  return is_object() ? data_->object : kEmptyObject;
+}
+
+Value::Object& Value::object() { return MutableDataAs(Type::kObject).object; }
 
 const Value* Value::FindPath(const std::string& path) const {
   const Value* cur = this;
@@ -60,8 +103,8 @@ const Value* Value::FindPath(const std::string& path) const {
     const std::string part =
         path.substr(start, dot == std::string::npos ? dot : dot - start);
     if (!cur->is_object()) return nullptr;
-    auto it = cur->object_.find(part);
-    if (it == cur->object_.end()) return nullptr;
+    auto it = cur->data_->object.find(part);
+    if (it == cur->data_->object.end()) return nullptr;
     cur = &it->second;
     if (dot == std::string::npos) return cur;
     start = dot + 1;
@@ -76,43 +119,39 @@ void Value::SetPath(const std::string& path, Value v) {
     const std::size_t dot = path.find('.', start);
     const std::string part =
         path.substr(start, dot == std::string::npos ? dot : dot - start);
-    if (!cur->is_object()) {
-      cur->type_ = Type::kObject;
-      cur->object_.clear();
-    }
+    Data& data = cur->MutableDataAs(Type::kObject);
     if (dot == std::string::npos) {
-      cur->object_[part] = std::move(v);
+      data.object[part] = std::move(v);
       return;
     }
-    cur = &cur->object_[part];
+    cur = &data.object[part];
     start = dot + 1;
   }
 }
 
 bool Value::ErasePath(const std::string& path) {
+  // Const pre-check so a miss neither detaches nor dirties any caches.
+  if (FindPath(path) == nullptr) return false;
   const std::size_t dot = path.rfind('.');
   if (dot == std::string::npos) {
-    if (!is_object()) return false;
-    return object_.erase(path) > 0;
+    MutableData().object.erase(path);
+    return true;
   }
-  const std::string parent_path = path.substr(0, dot);
-  const std::string leaf = path.substr(dot + 1);
-  // FindPath is const; locate the parent mutably by walking again.
+  // Walk to the parent through the mutable path (detaching + cache
+  // invalidation along the way), then erase the leaf.
   Value* cur = this;
   std::size_t start = 0;
-  while (start <= parent_path.size()) {
+  const std::string parent_path = path.substr(0, dot);
+  for (;;) {
     const std::size_t d = parent_path.find('.', start);
-    const std::string part = parent_path.substr(
-        start, d == std::string::npos ? d : d - start);
-    if (!cur->is_object()) return false;
-    auto it = cur->object_.find(part);
-    if (it == cur->object_.end()) return false;
-    cur = &it->second;
+    const std::string part =
+        parent_path.substr(start, d == std::string::npos ? d : d - start);
+    cur = &cur->MutableData().object[part];
     if (d == std::string::npos) break;
     start = d + 1;
   }
-  if (!cur->is_object()) return false;
-  return cur->object_.erase(leaf) > 0;
+  cur->MutableData().object.erase(path.substr(dot + 1));
+  return true;
 }
 
 namespace {
@@ -139,6 +178,37 @@ void EscapeInto(const std::string& s, std::string& out) {
   out += '"';
 }
 
+// Byte length EscapeInto would produce, without producing it.
+std::size_t EscapedJsonSize(const std::string& s) {
+  std::size_t n = 2;  // quotes
+  for (char c : s) {
+    switch (c) {
+      case '"':
+      case '\\':
+      case '\n':
+      case '\t':
+      case '\r':
+        n += 2;
+        break;
+      default:
+        n += static_cast<unsigned char>(c) < 0x20 ? 6 : 1;
+    }
+  }
+  return n;
+}
+
+std::size_t IntJsonSize(std::int64_t v) {
+  char buf[24];
+  return static_cast<std::size_t>(
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v)));
+}
+
+std::size_t DoubleJsonSize(double d) {
+  char buf[32];
+  return static_cast<std::size_t>(
+      std::snprintf(buf, sizeof(buf), "%.17g", d));
+}
+
 }  // namespace
 
 void Value::SerializeTo(std::string& out) const {
@@ -163,12 +233,12 @@ void Value::SerializeTo(std::string& out) const {
       break;
     }
     case Type::kString:
-      EscapeInto(string_, out);
+      EscapeInto(data_->string, out);
       break;
     case Type::kArray: {
       out += '[';
       bool first = true;
-      for (const Value& v : array_) {
+      for (const Value& v : data_->array) {
         if (!first) out += ',';
         first = false;
         v.SerializeTo(out);
@@ -179,7 +249,7 @@ void Value::SerializeTo(std::string& out) const {
     case Type::kObject: {
       out += '{';
       bool first = true;
-      for (const auto& [k, v] : object_) {
+      for (const auto& [k, v] : data_->object) {
         if (!first) out += ',';
         first = false;
         EscapeInto(k, out);
@@ -197,6 +267,43 @@ std::string Value::Serialize() const {
   out.reserve(64);
   SerializeTo(out);
   return out;
+}
+
+std::size_t Value::SerializedSize() const {
+  switch (type_) {
+    case Type::kNull:
+      return 4;
+    case Type::kBool:
+      return bool_ ? 4 : 5;
+    case Type::kInt:
+      return IntJsonSize(int_);
+    case Type::kDouble:
+      return DoubleJsonSize(double_);
+    case Type::kString:
+      if (data_->cached_size == 0) {
+        data_->cached_size = EscapedJsonSize(data_->string);
+      }
+      return data_->cached_size;
+    case Type::kArray:
+      if (data_->cached_size == 0) {
+        std::size_t n = 2;  // brackets
+        if (!data_->array.empty()) n += data_->array.size() - 1;  // commas
+        for (const Value& v : data_->array) n += v.SerializedSize();
+        data_->cached_size = n;
+      }
+      return data_->cached_size;
+    case Type::kObject:
+      if (data_->cached_size == 0) {
+        std::size_t n = 2;  // braces
+        if (!data_->object.empty()) n += data_->object.size() - 1;  // commas
+        for (const auto& [k, v] : data_->object) {
+          n += EscapedJsonSize(k) + 1 + v.SerializedSize();  // key : value
+        }
+        data_->cached_size = n;
+      }
+      return data_->cached_size;
+  }
+  return 0;
 }
 
 namespace {
@@ -375,6 +482,9 @@ StatusOr<Value> Value::Parse(const std::string& text) {
   return Parser(text).Parse();
 }
 
+std::size_t JsonStringSize(const std::string& s) { return EscapedJsonSize(s); }
+std::size_t JsonIntSize(std::int64_t v) { return IntJsonSize(v); }
+
 std::uint64_t Value::Hash() const {
   const std::string s = Serialize();
   std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
@@ -386,6 +496,11 @@ std::uint64_t Value::Hash() const {
 }
 
 bool Value::operator==(const Value& other) const {
+  // Shared payload node => structurally equal, no walk needed. (Scalars
+  // have no node; data_ is null for them, so this never misfires.)
+  if (data_ != nullptr && data_ == other.data_ && type_ == other.type_) {
+    return true;
+  }
   if (type_ != other.type_) {
     // Int/double compare numerically so 5 == 5.0.
     if (is_number() && other.is_number()) {
@@ -398,9 +513,9 @@ bool Value::operator==(const Value& other) const {
     case Type::kBool: return bool_ == other.bool_;
     case Type::kInt: return int_ == other.int_;
     case Type::kDouble: return double_ == other.double_;
-    case Type::kString: return string_ == other.string_;
-    case Type::kArray: return array_ == other.array_;
-    case Type::kObject: return object_ == other.object_;
+    case Type::kString: return data_->string == other.data_->string;
+    case Type::kArray: return data_->array == other.data_->array;
+    case Type::kObject: return data_->object == other.data_->object;
   }
   return false;
 }
@@ -414,17 +529,17 @@ void Value::DiffInto(const std::string& prefix, const Value& before,
     return;
   }
   // Keys removed in `after` surface as explicit nulls.
-  for (const auto& [k, v] : before.object_) {
+  for (const auto& [k, v] : before.data_->object) {
     if (!after.contains(k)) {
       out.emplace_back(prefix.empty() ? k : prefix + "." + k, Value());
     }
   }
-  for (const auto& [k, v] : after.object_) {
+  for (const auto& [k, v] : after.data_->object) {
     const std::string path = prefix.empty() ? k : prefix + "." + k;
     if (!before.contains(k)) {
       out.emplace_back(path, v);
     } else {
-      DiffInto(path, before.object_.at(k), v, out);
+      DiffInto(path, before.data_->object.at(k), v, out);
     }
   }
 }

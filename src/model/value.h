@@ -9,8 +9,25 @@
 //   - structural diff, because soft invalidation and the handshake's
 //     change-set exchange ship only what changed (§4.2).
 //
-// Value is a regular value type: copies are deep, equality is
-// structural. Arrays and objects own their elements.
+// Value is a regular value type: copies are deep *semantically*,
+// equality is structural. The representation is copy-on-write: string,
+// array, and object payloads live in a shared, refcounted node and are
+// only cloned when a writer mutates a shared value (the clone is
+// shallow — children keep sharing until written themselves). This is
+// what makes the simulator's "copy per watcher / copy per cache"
+// convention affordable for 17 KB pod objects: the copies are pointer
+// bumps until somebody writes.
+//
+// Every payload node also memoizes its compact-JSON byte length
+// (SerializedSize), because byte accounting runs on every simulated
+// network message. All mutation routes through MutableData(), which
+// both detaches and invalidates the cache. One caveat follows from
+// that: the cache of an *ancestor* is invalidated when the path to the
+// child is traversed through the mutable accessors (`v["a"]["b"] = x`),
+// so do not hold a `Value&` into a tree across an ancestor's
+// SerializedSize() call and then write through it — re-index instead.
+// The codebase mutates exclusively via full-expression chains, which
+// are always safe.
 #pragma once
 
 #include <cstdint>
@@ -38,10 +55,21 @@ class Value {
   Value(int i) : type_(Type::kInt), int_(i) {}
   Value(std::int64_t i) : type_(Type::kInt), int_(i) {}
   Value(double d) : type_(Type::kDouble), double_(d) {}
-  Value(const char* s) : type_(Type::kString), string_(s) {}
-  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
-  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}
-  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+  Value(const char* s)
+      : type_(Type::kString), data_(std::make_shared<Data>(std::string(s))) {}
+  Value(std::string s)
+      : type_(Type::kString), data_(std::make_shared<Data>(std::move(s))) {}
+  Value(Array a)
+      : type_(Type::kArray), data_(std::make_shared<Data>(std::move(a))) {}
+  Value(Object o)
+      : type_(Type::kObject), data_(std::make_shared<Data>(std::move(o))) {}
+
+  // Copies share the payload node (O(1)); the first mutation through
+  // either copy detaches it.
+  Value(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(const Value&) = default;
+  Value& operator=(Value&&) = default;
 
   static Value MakeObject() { return Value(Object{}); }
   static Value MakeArray() { return Value(Array{}); }
@@ -55,6 +83,12 @@ class Value {
   bool is_string() const { return type_ == Type::kString; }
   bool is_array() const { return type_ == Type::kArray; }
   bool is_object() const { return type_ == Type::kObject; }
+
+  // True when this value shares its payload node with another Value —
+  // observability for the CoW tests; scalars are never shared.
+  bool SharesPayloadWith(const Value& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
 
   // Accessors assert-check the type in debug; in release, mismatched
   // access returns a zero value (defensive: API objects come off the
@@ -72,7 +106,7 @@ class Value {
   }
   const std::string& as_string() const {
     static const std::string kEmpty;
-    return is_string() ? string_ : kEmpty;
+    return is_string() ? data_->string : kEmpty;
   }
 
   // --- array access ---------------------------------------------------
@@ -80,8 +114,10 @@ class Value {
   const Value& at(std::size_t i) const;
   Value& at(std::size_t i);
   void push_back(Value v);
-  const Array& array() const { return array_; }
-  Array& array() { return array_; }
+  const Array& array() const;
+  // Mutable view: detaches. Do not hold across an ancestor's
+  // SerializedSize() (see header comment).
+  Array& array();
 
   // --- object access ---------------------------------------------------
   // Field lookup; returns null Value reference for missing keys.
@@ -89,9 +125,10 @@ class Value {
   // Inserting lookup; converts a null value into an object first.
   Value& operator[](const std::string& key);
   bool contains(const std::string& key) const;
-  void erase(const std::string& key) { object_.erase(key); }
-  const Object& object() const { return object_; }
-  Object& object() { return object_; }
+  void erase(const std::string& key);
+  const Object& object() const;
+  // Mutable view: detaches (same caveat as array()).
+  Object& object();
 
   // --- dotted-path access ----------------------------------------------
   // Path syntax: "spec.template.spec.nodeName". Array elements are not
@@ -107,7 +144,10 @@ class Value {
   // Compact JSON. Keys are emitted sorted, so equal values serialize
   // identically (used for version hashing in the handshake protocol).
   std::string Serialize() const;
-  std::size_t SerializedSize() const { return Serialize().size(); }
+  // Byte length of Serialize(), without materializing the string.
+  // Memoized per payload node; every mutation invalidates the caches
+  // along the mutated path.
+  std::size_t SerializedSize() const;
   static StatusOr<Value> Parse(const std::string& text);
 
   // FNV-1a over the serialized form; the "any unique number" version
@@ -125,6 +165,30 @@ class Value {
                                                          const Value& after);
 
  private:
+  // Shared payload node. Exactly one of the three members is active,
+  // selected by the owning Value's type_. cached_size memoizes the
+  // subtree's compact-JSON length; 0 means "not computed" (no JSON
+  // rendering is ever empty, so 0 is never a valid length).
+  struct Data {
+    explicit Data(std::string s) : string(std::move(s)) {}
+    explicit Data(Array a) : array(std::move(a)) {}
+    explicit Data(Object o) : object(std::move(o)) {}
+    Data(const Data&) = default;
+
+    std::string string;
+    Array array;
+    Object object;
+    mutable std::size_t cached_size = 0;
+  };
+
+  // Detach-on-write: clones the payload node if shared and invalidates
+  // its size cache. Callers of mutable accessors reach their node
+  // through the mutable path, so ancestors invalidate transitively.
+  Data& MutableData();
+  // Converts to `t` (resetting the payload) unless already of type `t`;
+  // then detaches. Backbone of the inserting accessors.
+  Data& MutableDataAs(Type t);
+
   void SerializeTo(std::string& out) const;
   static void DiffInto(const std::string& prefix, const Value& before,
                        const Value& after,
@@ -134,9 +198,13 @@ class Value {
   bool bool_ = false;
   std::int64_t int_ = 0;
   double double_ = 0.0;
-  std::string string_;
-  Array array_;
-  Object object_;
+  std::shared_ptr<Data> data_;  // set iff string/array/object
 };
+
+// Byte lengths of the compact-JSON renderings of a string (quoted and
+// escaped) and an integer — the primitives composite objects use to sum
+// their wire size without serializing (see ApiObject::SerializedSize).
+std::size_t JsonStringSize(const std::string& s);
+std::size_t JsonIntSize(std::int64_t v);
 
 }  // namespace kd::model

@@ -8,21 +8,31 @@ const model::ApiObject* ObjectCache::Get(const std::string& key) const {
   return &it->second.object;
 }
 
+// Keys are "Kind/name" and entries_ is sorted, so all objects of one
+// kind occupy the contiguous range of keys prefixed "Kind/". Scanning
+// just that range keeps List/VisibleCount O(kind population) instead of
+// O(total entries) — these run inside controller reconcile loops.
 std::vector<const model::ApiObject*> ObjectCache::List(
     const std::string& kind) const {
   std::vector<const model::ApiObject*> out;
-  for (const auto& [key, entry] : entries_) {
-    if (!entry.invalid && entry.object.kind == kind) {
-      out.push_back(&entry.object);
-    }
+  const std::string prefix = kind + "/";
+  for (auto it = entries_.lower_bound(prefix);
+       it != entries_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    if (!it->second.invalid) out.push_back(&it->second.object);
   }
   return out;
 }
 
 std::size_t ObjectCache::VisibleCount(const std::string& kind) const {
   std::size_t n = 0;
-  for (const auto& [key, entry] : entries_) {
-    if (!entry.invalid && entry.object.kind == kind) ++n;
+  const std::string prefix = kind + "/";
+  for (auto it = entries_.lower_bound(prefix);
+       it != entries_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    if (!it->second.invalid) ++n;
   }
   return n;
 }

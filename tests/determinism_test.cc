@@ -1,0 +1,197 @@
+// Determinism-replay regression tests.
+//
+// The whole repository depends on one invariant: a fixed-seed run is
+// bit-for-bit reproducible, because event ordering is fully determined
+// by (virtual time, scheduling sequence). These tests freeze that
+// contract through the engine's trace hook: a full-fidelity Kd cluster
+// scenario and a FaaS trace replay are each run twice in-process and
+// their complete event traces must be byte-identical. They are the
+// safety net for any event-queue rewrite — a queue that reorders ties,
+// drops events, or fires cancelled tombstones changes the trace.
+//
+// The traces fingerprint (time, seq) only: EventId encodes storage
+// identity (slot/generation) and is implementation-defined, so pinning
+// it would outlaw harmless engine-internal changes. Each test also
+// prints an FNV-1a fingerprint of the trace so two builds (e.g. old
+// vs. new engine during a rewrite) can be compared by hand.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/strings.h"
+#include "faas/backend.h"
+#include "faas/platform.h"
+#include "sim/engine.h"
+#include "trace/azure.h"
+
+namespace kd {
+namespace {
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AttachRecorder(sim::Engine& engine, std::string& trace) {
+  engine.set_trace_hook([&trace](Time t, std::uint64_t seq, sim::EventId) {
+    trace += StrFormat("%lld %llu\n", static_cast<long long>(t),
+                       static_cast<unsigned long long>(seq));
+  });
+}
+
+// A short but full-fidelity Kd cluster scenario: boot, register two
+// functions, scale both up, let one converge, then scale one down.
+// Exercises informers, watch fan-out, schedulers, kubelets, network
+// timers (schedule+cancel churn) — every event source in the tree.
+std::string KdClusterTrace() {
+  sim::Engine engine;
+  std::string trace;
+  AttachRecorder(engine, trace);
+
+  cluster::ClusterConfig config = cluster::ClusterConfig::Kd(8);
+  config.realistic_pod_template = false;
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+  cluster.RegisterFunction("fn-a");
+  cluster.RegisterFunction("fn-b");
+  engine.RunFor(Milliseconds(200));
+
+  cluster.ScaleTo("fn-a", 16);
+  cluster.ScaleTo("fn-b", 8);
+  engine.RunFor(Seconds(15));
+  cluster.ScaleTo("fn-a", 4);
+  cluster.ScaleTo("fn-b", 12);
+  engine.RunFor(Seconds(15));
+  return trace;
+}
+
+// A fixed-seed FaaS replay on the Kn/Kd stack: heavy-tailed arrivals,
+// autoscaling round trips, cold starts.
+std::string FaasReplayTrace() {
+  sim::Engine engine;
+  std::string trace;
+  AttachRecorder(engine, trace);
+
+  trace::TraceConfig trace_config;
+  trace_config.num_functions = 12;
+  trace_config.length = Minutes(2);
+  trace_config.target_invocations = 600;
+  trace_config.seed = 7;
+  trace::AzureTrace workload = trace::AzureTrace::Generate(trace_config);
+
+  cluster::ClusterConfig cluster_config = cluster::ClusterConfig::Kd(16);
+  cluster_config.realistic_pod_template = false;
+  cluster::Cluster cluster(engine, std::move(cluster_config));
+  cluster.Boot();
+  faas::ClusterBackend backend(cluster);
+  faas::Platform platform(engine, backend, faas::PolicyParams::Knative());
+  for (int f = 0; f < workload.num_functions(); ++f) {
+    faas::FunctionSpec spec;
+    spec.name = workload.FunctionName(f);
+    platform.RegisterFunction(spec);
+  }
+  platform.Start();
+  engine.RunFor(Milliseconds(500));
+  for (const trace::TraceEvent& event : workload.events()) {
+    engine.ScheduleAt(event.at + Milliseconds(500),
+                      [&platform, &workload, event] {
+                        platform.Invoke(workload.FunctionName(event.function),
+                                        event.duration);
+                      });
+  }
+  engine.RunFor(trace_config.length + Minutes(1));
+  return trace;
+}
+
+TEST(DeterminismTest, KdClusterTraceIsByteIdenticalAcrossRuns) {
+  const std::string first = KdClusterTrace();
+  const std::string second = KdClusterTrace();
+  ASSERT_FALSE(first.empty());
+  EXPECT_GT(first.size(), 10'000u) << "scenario too small to be a safety net";
+  EXPECT_EQ(first, second);
+  std::printf("[trace] kd-cluster: %zu bytes, fingerprint %016llx\n",
+              first.size(),
+              static_cast<unsigned long long>(Fnv1a(first)));
+}
+
+TEST(DeterminismTest, FaasReplayTraceIsByteIdenticalAcrossRuns) {
+  const std::string first = FaasReplayTrace();
+  const std::string second = FaasReplayTrace();
+  ASSERT_FALSE(first.empty());
+  EXPECT_GT(first.size(), 10'000u) << "scenario too small to be a safety net";
+  EXPECT_EQ(first, second);
+  std::printf("[trace] faas-replay: %zu bytes, fingerprint %016llx\n",
+              first.size(),
+              static_cast<unsigned long long>(Fnv1a(first)));
+}
+
+// --- Cancel semantics against the slot/generation implementation ------
+
+TEST(DeterminismTest, CancelAfterFireReturnsFalse) {
+  sim::Engine engine;
+  bool fired = false;
+  const sim::EventId id = engine.ScheduleAfter(1, [&] { fired = true; });
+  engine.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(engine.Cancel(id));
+}
+
+TEST(DeterminismTest, CancelTwiceReturnsFalse) {
+  sim::Engine engine;
+  const sim::EventId id = engine.ScheduleAfter(1, [] {});
+  EXPECT_TRUE(engine.Cancel(id));
+  EXPECT_FALSE(engine.Cancel(id));
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(DeterminismTest, CancelInvalidEventIdIsSafe) {
+  sim::Engine engine;
+  EXPECT_FALSE(engine.Cancel(sim::kInvalidEventId));
+}
+
+TEST(DeterminismTest, StaleIdAfterSlotReuseReturnsFalse) {
+  sim::Engine engine;
+  // Cancel an event, drain its tombstone, then schedule again so the
+  // implementation may recycle internal storage. The stale id must not
+  // cancel the new event.
+  const sim::EventId stale = engine.ScheduleAfter(5, [] {});
+  EXPECT_TRUE(engine.Cancel(stale));
+  engine.RunFor(10);  // tombstone pops here
+  bool fired = false;
+  engine.ScheduleAfter(5, [&] { fired = true; });
+  EXPECT_FALSE(engine.Cancel(stale));
+  engine.RunFor(10);
+  EXPECT_TRUE(fired);
+}
+
+TEST(DeterminismTest, TraceHookReportsMonotoneTimeAndDistinctSeq) {
+  sim::Engine engine;
+  Time last_time = -1;
+  std::uint64_t last_seq = 0;
+  int calls = 0;
+  engine.set_trace_hook([&](Time t, std::uint64_t seq, sim::EventId id) {
+    EXPECT_GE(t, last_time);
+    EXPECT_GT(seq, 0u);
+    EXPECT_NE(seq, last_seq);
+    EXPECT_NE(id, sim::kInvalidEventId);
+    last_time = t;
+    last_seq = seq;
+    ++calls;
+  });
+  for (int i = 0; i < 10; ++i) {
+    engine.ScheduleAfter(i % 3, [] {});
+  }
+  engine.Run();
+  EXPECT_EQ(calls, 10);
+}
+
+}  // namespace
+}  // namespace kd

@@ -192,5 +192,73 @@ TEST(FactoryTest, MinimalTemplateIsSmall) {
   EXPECT_LT(pod.SerializedSize(), 1000u);
 }
 
+
+// --- CoW + cached SerializedSize on full API objects --------------------
+
+TEST(CowObjectTest, MutationAfterShareDoesNotAlias) {
+  ApiObject rs = MakeReplicaSet("fn-v1", "fn", 1, 2,
+                                RealisticPodTemplateSpec("fn"));
+  ApiObject pod = MakePodFromTemplate("fn-v1-0", rs);
+  ApiObject copy = pod;  // watcher/cache copy: O(1), shared payloads
+  SetPodPhase(copy, PodPhase::kRunning);
+  SetNodeName(copy, "node-7");
+  SetAnnotation(copy, "touched", "yes");
+  // The original is untouched by the writer's mutations.
+  EXPECT_EQ(GetPodPhase(pod), PodPhase::kPending);
+  EXPECT_EQ(GetNodeName(pod), "");
+  EXPECT_EQ(GetAnnotation(pod, "touched"), "");
+  EXPECT_EQ(GetPodPhase(copy), PodPhase::kRunning);
+  EXPECT_EQ(GetNodeName(copy), "node-7");
+}
+
+TEST(CowObjectTest, SerializedSizeCacheInvalidatesOnEveryMutator) {
+  ApiObject rs = MakeReplicaSet("fn-v1", "fn", 1, 2,
+                                RealisticPodTemplateSpec("fn"));
+  EXPECT_EQ(rs.SerializedSize(), rs.Serialize().size());
+  SetReplicas(rs, 17);
+  EXPECT_EQ(rs.SerializedSize(), rs.Serialize().size());
+
+  ApiObject pod = MakePodFromTemplate("fn-v1-0", rs);
+  EXPECT_EQ(pod.SerializedSize(), pod.Serialize().size());
+  // Running -> Terminating changes the phase string length.
+  SetPodPhase(pod, PodPhase::kRunning);
+  EXPECT_EQ(pod.SerializedSize(), pod.Serialize().size());
+  SetPodPhase(pod, PodPhase::kTerminating);
+  EXPECT_EQ(pod.SerializedSize(), pod.Serialize().size());
+  SetAnnotation(pod, "kubedirect.io/epoch", "12345");
+  EXPECT_EQ(pod.SerializedSize(), pod.Serialize().size());
+  // resource_version lives outside the Value trees; it is summed
+  // per-call, so bumping it must be reflected immediately.
+  pod.resource_version = 1'000'000;
+  EXPECT_EQ(pod.SerializedSize(), pod.Serialize().size());
+}
+
+TEST(CowObjectTest, SizeCacheSurvivesSharingAndDetach) {
+  ApiObject rs = MakeReplicaSet("fn-v1", "fn", 1, 2,
+                                RealisticPodTemplateSpec("fn"));
+  ApiObject pod = MakePodFromTemplate("fn-v1-0", rs);
+  const std::size_t before = pod.SerializedSize();
+  ApiObject copy = pod;
+  SetAnnotation(copy, "extra", "payload");
+  EXPECT_EQ(pod.SerializedSize(), before);  // reader sees the old size
+  EXPECT_EQ(copy.SerializedSize(), copy.Serialize().size());
+  EXPECT_GT(copy.SerializedSize(), before);
+}
+
+TEST(CowObjectTest, EqualityComparesByValueNotByPayloadIdentity) {
+  ApiObject rs = MakeReplicaSet("fn-v1", "fn", 1, 2,
+                                MinimalPodTemplateSpec("fn"));
+  ApiObject a = MakePodFromTemplate("fn-v1-0", rs);
+  ApiObject b = a;
+  EXPECT_EQ(a, b);  // shared payloads
+  SetAnnotation(b, "k", "v");
+  EXPECT_FALSE(a == b);
+  SetAnnotation(b, "k", "v");  // rewrite same value: detached but equal?
+  // b still differs from a (the annotation exists only on b).
+  EXPECT_FALSE(a == b);
+  SetAnnotation(a, "k", "v");  // now independently-built equal content
+  EXPECT_EQ(a, b);
+}
+
 }  // namespace
 }  // namespace kd::model

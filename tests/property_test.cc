@@ -20,8 +20,11 @@
 //                   irreversible).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
@@ -235,8 +238,38 @@ TEST_P(ModelWalkTest, RandomWalkConvergesAndStaysSafe) {
   walk.Run(/*steps=*/40);
 }
 
+// Seed matrix: 1..20 by default; PROPERTY_SEEDS overrides it with
+// either a range ("1-200") or a comma list ("7,13,42") — used by CI
+// soaks and to replay a single failing seed locally.
+std::vector<std::uint64_t> SeedMatrix() {
+  std::vector<std::uint64_t> seeds;
+  const char* spec = std::getenv("PROPERTY_SEEDS");
+  if (spec == nullptr || *spec == '\0') {
+    for (std::uint64_t s = 1; s <= 20; ++s) seeds.push_back(s);
+    return seeds;
+  }
+  const std::string text(spec);
+  const auto dash = text.find('-');
+  if (dash != std::string::npos && text.find(',') == std::string::npos) {
+    const std::uint64_t lo = std::strtoull(text.c_str(), nullptr, 10);
+    const std::uint64_t hi =
+        std::strtoull(text.c_str() + dash + 1, nullptr, 10);
+    for (std::uint64_t s = lo; s <= hi; ++s) seeds.push_back(s);
+  } else {
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      seeds.push_back(std::strtoull(text.c_str() + pos, nullptr, 10));
+      const auto comma = text.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (seeds.empty()) seeds.push_back(1);  // malformed spec: still run
+  return seeds;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ModelWalkTest,
-                         ::testing::Range<std::uint64_t>(1, 21));
+                         ::testing::ValuesIn(SeedMatrix()));
 
 // A focused long walk with heavier failure pressure.
 TEST(ModelWalkLongTest, HundredStepWalk) {

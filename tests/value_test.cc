@@ -266,5 +266,109 @@ TEST(ValueDiffTest, ScalarToObjectReportedWhole) {
   EXPECT_TRUE(diff[0].second.is_object());
 }
 
+
+// --- copy-on-write semantics -------------------------------------------
+
+TEST(ValueCowTest, CopyShareThenWriteDetaches) {
+  Value a = Value::MakeObject();
+  a["spec"]["replicas"] = 3;
+  Value b = a;
+  ASSERT_TRUE(a.SharesPayloadWith(b));
+  b["spec"]["replicas"] = 7;  // writer detaches
+  EXPECT_FALSE(a.SharesPayloadWith(b));
+  EXPECT_EQ(a["spec"]["replicas"].as_int(), 3);
+  EXPECT_EQ(b["spec"]["replicas"].as_int(), 7);
+}
+
+TEST(ValueCowTest, ReadersNeverDetach) {
+  Value a = Value::MakeObject();
+  a["x"]["y"] = "deep";
+  const Value b = a;
+  // Const access on both sides leaves the payload shared.
+  EXPECT_EQ(b["x"]["y"].as_string(), "deep");
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  EXPECT_EQ(a.SerializedSize(), b.SerializedSize());
+  EXPECT_TRUE(a.SharesPayloadWith(b));
+}
+
+TEST(ValueCowTest, DetachIsShallowChildrenKeepSharing) {
+  Value a = Value::MakeObject();
+  a["meta"]["labels"]["app"] = "fn";
+  a["top"] = 1;
+  Value b = a;
+  b["top"] = 2;  // detaches only the root node
+  EXPECT_FALSE(a.SharesPayloadWith(b));
+  EXPECT_TRUE(a["meta"].SharesPayloadWith(b["meta"]));
+  // A write into the shared subtree detaches just that path.
+  b["meta"]["labels"]["app"] = "other";
+  EXPECT_FALSE(a["meta"].SharesPayloadWith(b["meta"]));
+  EXPECT_EQ(a["meta"]["labels"]["app"].as_string(), "fn");
+  EXPECT_EQ(b["meta"]["labels"]["app"].as_string(), "other");
+}
+
+TEST(ValueCowTest, SetPathAndErasePathDoNotAliasSharedCopies) {
+  Value a = Value::MakeObject();
+  a.SetPath("spec.template.spec.nodeName", Value("n1"));
+  a.SetPath("spec.extra", Value(1));
+  Value b = a;
+  b.SetPath("spec.template.spec.nodeName", Value("n2"));
+  EXPECT_EQ(a.FindPath("spec.template.spec.nodeName")->as_string(), "n1");
+  EXPECT_EQ(b.FindPath("spec.template.spec.nodeName")->as_string(), "n2");
+  Value c = a;
+  EXPECT_TRUE(c.ErasePath("spec.extra"));
+  EXPECT_NE(a.FindPath("spec.extra"), nullptr);
+  EXPECT_EQ(c.FindPath("spec.extra"), nullptr);
+  // Missing path: reports false and does not detach.
+  Value d = a;
+  EXPECT_FALSE(d.ErasePath("spec.missing"));
+  EXPECT_TRUE(d.SharesPayloadWith(a));
+}
+
+TEST(ValueCowTest, SharedPayloadEqualityFastPathStillByValue) {
+  Value a = Value::MakeObject();
+  a["k"] = "v";
+  Value b = a;          // shared: fast path
+  EXPECT_EQ(a, b);
+  b["k"] = "v";         // detached but structurally identical
+  EXPECT_FALSE(a.SharesPayloadWith(b));
+  EXPECT_EQ(a, b);      // deep comparison still says equal
+  b["k"] = "w";
+  EXPECT_NE(a, b);
+}
+
+// --- SerializedSize cache ----------------------------------------------
+
+TEST(ValueSizeCacheTest, SizeMatchesSerializeAcrossMutations) {
+  Value v = Value::MakeObject();
+  v["a"]["b"] = 1;
+  v["list"].push_back("x\ny");  // escaping counted, not expanded
+  v["num"] = 3.25;
+  EXPECT_EQ(v.SerializedSize(), v.Serialize().size());
+  // Mutate through every kind of writer and re-check the cache.
+  v["a"]["b"] = "longer string than before";
+  EXPECT_EQ(v.SerializedSize(), v.Serialize().size());
+  v["list"].push_back(Value::MakeObject());
+  EXPECT_EQ(v.SerializedSize(), v.Serialize().size());
+  v.SetPath("a.c.d", Value(true));
+  EXPECT_EQ(v.SerializedSize(), v.Serialize().size());
+  v.ErasePath("a.b");
+  EXPECT_EQ(v.SerializedSize(), v.Serialize().size());
+  v.erase("num");
+  EXPECT_EQ(v.SerializedSize(), v.Serialize().size());
+  v.array();  // mutable view invalidates too
+  EXPECT_EQ(v.SerializedSize(), v.Serialize().size());
+}
+
+TEST(ValueSizeCacheTest, SizeIsIndependentPerCopyAfterDetach) {
+  Value a = Value::MakeObject();
+  a["payload"] = std::string(1000, 'x');
+  const std::size_t original = a.SerializedSize();
+  Value b = a;
+  b["payload"] = "tiny";
+  EXPECT_EQ(a.SerializedSize(), original);
+  EXPECT_EQ(b.SerializedSize(), b.Serialize().size());
+  EXPECT_LT(b.SerializedSize(), original);
+}
+
 }  // namespace
 }  // namespace kd::model
