@@ -28,6 +28,9 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
       std::make_unique<controllers::ReplicaSetController>(*env_, config_.mode);
   scheduler_ = std::make_unique<controllers::Scheduler>(*env_, config_.mode,
                                                         config_.scheduler);
+  kube_proxy_ = std::make_unique<controllers::KubeProxy>(*env_, config_.mode);
+  endpoints_controller_ =
+      std::make_unique<controllers::EndpointsController>(*env_, config_.mode);
 
   const controllers::SandboxParams sandbox =
       config_.sandbox == SandboxKind::kStock
@@ -65,6 +68,8 @@ void Cluster::Boot() {
   replicaset_controller_->Start();
   deployment_controller_->Start();
   autoscaler_->Start();
+  kube_proxy_->Start();
+  endpoints_controller_->Start();
 
   // Let informers sync and Kd links handshake.
   if (config_.mode == Mode::kKd) {
@@ -73,6 +78,7 @@ void Cluster::Boot() {
           if (!autoscaler_->link_ready()) return false;
           if (!deployment_controller_->link_ready()) return false;
           if (!replicaset_controller_->link_ready()) return false;
+          if (!endpoints_controller_->link_ready()) return false;
           for (int i = 0; i < config_.num_nodes; ++i) {
             if (!scheduler_->KubeletLinkReady(NodeName(i))) return false;
           }
@@ -106,6 +112,7 @@ void Cluster::RegisterFunction(const std::string& name,
   }
   apiserver_->SeedObject(std::move(deployment));
   apiserver_->SeedObject(std::move(rs));
+  apiserver_->SeedObject(model::MakeService(name));
 }
 
 void Cluster::ScaleTo(const std::string& function_name,

@@ -6,9 +6,11 @@
 //   K8s+ — stock control plane, Dirigent's sandbox manager
 //   Kd+  — KubeDirect control plane, Dirigent's sandbox manager
 //
-// Owns the network, API server, the four narrow-waist controllers, and
-// one Kubelet per node. Function registration (Deployment + ReplicaSet
-// creation) is the offline upstream path and is seeded directly.
+// Owns the network, API server, the four narrow-waist controllers, one
+// Kubelet per node, and the endpoint-propagation leg (Endpoints
+// controller + KubeProxy) the data plane routes with. Function
+// registration (Deployment + ReplicaSet + Service creation) is the
+// offline upstream path and is seeded directly.
 #pragma once
 
 #include <functional>
@@ -21,6 +23,8 @@
 #include "common/metrics.h"
 #include "controllers/autoscaler.h"
 #include "controllers/deployment_controller.h"
+#include "controllers/endpoints_controller.h"
+#include "controllers/kube_proxy.h"
 #include "controllers/kubelet.h"
 #include "controllers/replicaset_controller.h"
 #include "controllers/scheduler.h"
@@ -117,6 +121,10 @@ class Cluster {
     return *replicaset_controller_;
   }
   controllers::Scheduler& scheduler() { return *scheduler_; }
+  controllers::EndpointsController& endpoints_controller() {
+    return *endpoints_controller_;
+  }
+  controllers::KubeProxy& kube_proxy() { return *kube_proxy_; }
   controllers::Kubelet& kubelet(int index) { return *kubelets_[index]; }
   controllers::Kubelet* kubelet_by_node(const std::string& node_name);
   int num_nodes() const { return config_.num_nodes; }
@@ -137,6 +145,8 @@ class Cluster {
   std::unique_ptr<controllers::DeploymentController> deployment_controller_;
   std::unique_ptr<controllers::ReplicaSetController> replicaset_controller_;
   std::unique_ptr<controllers::Scheduler> scheduler_;
+  std::unique_ptr<controllers::EndpointsController> endpoints_controller_;
+  std::unique_ptr<controllers::KubeProxy> kube_proxy_;
   std::vector<std::unique_ptr<controllers::Kubelet>> kubelets_;
 };
 

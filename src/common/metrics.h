@@ -63,6 +63,12 @@ class MetricsRecorder {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
+  // Monotone high-water gauge, stored alongside counters so it prints
+  // with them (e.g. "<loop>.queue_depth_max").
+  void RecordMax(const std::string& name, std::int64_t v) {
+    auto& cur = counters_[name];
+    if (v > cur) cur = v;
+  }
 
   void RecordDuration(const std::string& name, Duration d) {
     samples_[name].Add(ToMillis(d));

@@ -11,52 +11,44 @@ using model::kKindDeployment;
 Autoscaler::Autoscaler(runtime::Env& env, Mode mode)
     : env_(env),
       mode_(mode),
-      api_(env.engine, env.apiserver, "autoscaler", env.cost.controller_qps,
-           env.cost.controller_burst, &env.metrics),
-      informer_(api_, env.apiserver, cache_),
-      loop_(env.engine, env.cost, "autoscaler", &env.metrics),
-      endpoint_(env.network, Addresses::Autoscaler()) {
-  loop_.SetReconciler([this](const std::string& key) { return Reconcile(key); });
-}
+      harness_(env, mode,
+               {.name = "autoscaler",
+                .client_id = "autoscaler",
+                .address = Addresses::Autoscaler(),
+                .qps = env.cost.controller_qps,
+                .burst = env.cost.controller_burst}) {
+  harness_.SetReconciler(
+      [this](const std::string& key) { return Reconcile(key); });
+  harness_.SyncKind(cache_, kKindDeployment);
 
-Autoscaler::~Autoscaler() {
-  if (downstream_) downstream_->Stop();
-}
+  // Level-triggered link: after any (re)handshake, re-send every
+  // desired value that is not known to have landed.
+  runtime::ControllerHarness::DownstreamSpec link;
+  link.peer = Addresses::DeploymentController();
+  link.kind_filter = "__none__";
+  link.callbacks.on_ready = [this](const kubedirect::ChangeSet&) {
+    last_sent_.clear();
+    for (const auto& [name, replicas] : desired_) harness_.loop().Enqueue(name);
+  };
+  link.callbacks.on_down = [this] { last_sent_.clear(); };
+  harness_.ConnectDownstream(std::move(link));
 
-void Autoscaler::Start() {
-  crashed_ = false;
-  informer_.Start(kKindDeployment);
-  if (mode_ == Mode::kKd) {
-    kubedirect::HierarchyClient::Callbacks callbacks;
-    // Level-triggered link: after any (re)handshake, re-send every
-    // desired value that is not known to have landed.
-    callbacks.on_ready = [this](const kubedirect::ChangeSet&) {
-      last_sent_.clear();
-      for (const auto& [name, replicas] : desired_) loop_.Enqueue(name);
-    };
-    callbacks.on_down = [this] { last_sent_.clear(); };
-    downstream_ = std::make_unique<kubedirect::HierarchyClient>(
-        env_.engine, env_.cost, endpoint_, Addresses::DeploymentController(),
-        link_scratch_, /*kind_filter=*/"__none__", nullptr,
-        std::move(callbacks), &env_.metrics);
-    downstream_->Start();
-  }
+  harness_.OnCrash([this] {
+    desired_.clear();
+    last_sent_.clear();
+  });
 }
 
 void Autoscaler::ScaleTo(const std::string& deployment_name,
                          std::int64_t replicas) {
-  if (crashed_) return;
+  if (harness_.crashed()) return;
   desired_[deployment_name] = replicas;
-  loop_.Enqueue(deployment_name);
+  harness_.loop().Enqueue(deployment_name);
 }
 
 std::int64_t Autoscaler::DesiredFor(const std::string& deployment_name) const {
   auto it = desired_.find(deployment_name);
   return it == desired_.end() ? -1 : it->second;
-}
-
-bool Autoscaler::link_ready() const {
-  return downstream_ != nullptr && downstream_->ready();
 }
 
 Duration Autoscaler::Reconcile(const std::string& deployment_name) {
@@ -73,7 +65,8 @@ void Autoscaler::SendScale(const std::string& deployment_name,
                            std::int64_t replicas) {
   env_.metrics.MarkStart("autoscaler", env_.engine.now());
   if (mode_ == Mode::kKd) {
-    if (!downstream_ || !downstream_->ready()) {
+    kubedirect::HierarchyClient* downstream = harness_.downstream();
+    if (downstream == nullptr || !downstream->ready()) {
       // Link down: the value stays in desired_; the on_ready callback
       // re-enqueues (opportunistic forwarding, §4.1).
       return;
@@ -82,7 +75,7 @@ void Autoscaler::SendScale(const std::string& deployment_name,
     msg.obj_key = ApiObject::MakeKey(kKindDeployment, deployment_name);
     msg.attrs.emplace("spec.replicas",
                       kubedirect::KdValue::Literal(replicas));
-    downstream_->SendUpsert(msg);
+    downstream->SendUpsert(msg);
     last_sent_[deployment_name] = replicas;
     env_.metrics.MarkStop("autoscaler", env_.engine.now());
     return;
@@ -93,7 +86,7 @@ void Autoscaler::SendScale(const std::string& deployment_name,
       cache_.Get(ApiObject::MakeKey(kKindDeployment, deployment_name));
   if (cached == nullptr) {
     // Informer not synced yet; retry shortly.
-    loop_.EnqueueAfter(deployment_name, Milliseconds(10));
+    harness_.loop().EnqueueAfter(deployment_name, Milliseconds(10));
     return;
   }
   if (model::GetReplicas(*cached) == replicas) {
@@ -104,36 +97,20 @@ void Autoscaler::SendScale(const std::string& deployment_name,
   ApiObject updated = *cached;
   model::SetReplicas(updated, replicas);
   last_sent_[deployment_name] = replicas;
-  api_.Update(updated, [this, deployment_name](StatusOr<ApiObject> result) {
-    env_.metrics.MarkStop("autoscaler", env_.engine.now());
-    if (!result.ok()) {
-      // Conflict or transient failure: forget the send and retry with
-      // the refreshed cache (level-triggered).
-      last_sent_.erase(deployment_name);
-      if (!crashed_) loop_.EnqueueAfter(deployment_name, Milliseconds(5));
-      return;
-    }
-    cache_.Upsert(std::move(*result));
-  });
+  harness_.api().Update(
+      updated, [this, deployment_name](StatusOr<ApiObject> result) {
+        env_.metrics.MarkStop("autoscaler", env_.engine.now());
+        if (!result.ok()) {
+          // Conflict or transient failure: forget the send and retry
+          // with the refreshed cache (level-triggered).
+          last_sent_.erase(deployment_name);
+          if (!harness_.crashed()) {
+            harness_.loop().EnqueueAfter(deployment_name, Milliseconds(5));
+          }
+          return;
+        }
+        cache_.Upsert(std::move(*result));
+      });
 }
-
-void Autoscaler::Crash() {
-  crashed_ = true;
-  desired_.clear();
-  last_sent_.clear();
-  cache_.Clear();
-  loop_.Clear();
-  informer_.Stop();
-  // Crash the endpoint first: connections die silently (no FIN), the
-  // peer detects the loss via keepalive timeout — then tear down the
-  // link object locally.
-  env_.network.CrashEndpoint(endpoint_.address());
-  if (downstream_) {
-    downstream_->Stop();
-    downstream_.reset();
-  }
-}
-
-void Autoscaler::Restart() { Start(); }
 
 }  // namespace kd::controllers

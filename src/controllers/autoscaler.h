@@ -17,27 +17,20 @@
 #pragma once
 
 #include <map>
-#include <memory>
 #include <string>
 
-#include "apiserver/client.h"
 #include "controllers/types.h"
-#include "kubedirect/hierarchy.h"
-#include "runtime/cache.h"
-#include "runtime/control_loop.h"
-#include "runtime/env.h"
-#include "runtime/informer.h"
+#include "runtime/harness.h"
 
 namespace kd::controllers {
 
 class Autoscaler {
  public:
   Autoscaler(runtime::Env& env, Mode mode);
-  ~Autoscaler();
 
   // Syncs the Deployment informer (and in Kd mode connects the link to
   // the Deployment controller).
-  void Start();
+  void Start() { harness_.Start(); }
 
   // Sets the desired scale for a Deployment. Called by the platform's
   // autoscaling policy; repeat calls with the same value are no-ops.
@@ -48,10 +41,10 @@ class Autoscaler {
   // Failure injection: Crash drops all soft state and the link;
   // Restart re-syncs. The platform re-issues desired scales on its
   // next evaluation tick (level-triggered).
-  void Crash();
-  void Restart();
+  void Crash() { harness_.Crash(); }
+  void Restart() { harness_.Restart(); }
 
-  bool link_ready() const;
+  bool link_ready() const { return harness_.link_ready(); }
 
  private:
   Duration Reconcile(const std::string& deployment_name);
@@ -59,24 +52,16 @@ class Autoscaler {
 
   runtime::Env& env_;
   Mode mode_;
+  runtime::ControllerHarness harness_;
   runtime::ObjectCache cache_;  // Deployments (informer view)
-  apiserver::ApiClient api_;
-  runtime::Informer informer_;
-  runtime::ControlLoop loop_;
 
   // Desired per deployment (the policy's latest word) and the last
-  // value successfully handed downstream.
+  // value successfully handed downstream. The forward link to the
+  // Deployment controller is level-triggered and carries no handshake
+  // state (Fig. 15's "negligible overhead"): re-forwarding happens in
+  // the next scaling call.
   std::map<std::string, std::int64_t> desired_;
   std::map<std::string, std::int64_t> last_sent_;
-
-  // Kd plumbing: the egress link to the Deployment controller. The
-  // level-triggered links carry no handshake state (Fig. 15's
-  // "negligible overhead" for these controllers): re-forwarding happens
-  // in the next scaling call.
-  net::Endpoint endpoint_;
-  runtime::ObjectCache link_scratch_;  // intentionally empty
-  std::unique_ptr<kubedirect::HierarchyClient> downstream_;
-  bool crashed_ = false;
 };
 
 }  // namespace kd::controllers

@@ -12,62 +12,52 @@ using model::kKindReplicaSet;
 DeploymentController::DeploymentController(runtime::Env& env, Mode mode)
     : env_(env),
       mode_(mode),
-      api_(env.engine, env.apiserver, "deployment-controller",
-           env.cost.controller_qps, env.cost.controller_burst, &env.metrics),
-      informer_(api_, env.apiserver, cache_),
-      loop_(env.engine, env.cost, "deployment", &env.metrics),
-      endpoint_(env.network, Addresses::DeploymentController()) {
-  loop_.SetReconciler([this](const std::string& key) { return Reconcile(key); });
+      harness_(env, mode,
+               {.name = "deployment",
+                .client_id = "deployment-controller",
+                .address = Addresses::DeploymentController(),
+                .qps = env.cost.controller_qps,
+                .burst = env.cost.controller_burst}) {
+  harness_.SetReconciler(
+      [this](const std::string& key) { return Reconcile(key); });
   // A Deployment change (watch event or direct message) triggers its
   // reconcile; ReplicaSet changes trigger the owning Deployment's.
   cache_.AddChangeHandler([this](const std::string& key,
                                  const ApiObject* before,
                                  const ApiObject* after) {
+    (void)key;
     const ApiObject* obj = after != nullptr ? after : before;
     if (obj == nullptr) return;
     if (obj->kind == kKindDeployment) {
-      loop_.Enqueue(obj->name);
+      harness_.loop().Enqueue(obj->name);
     } else if (obj->kind == kKindReplicaSet) {
-      loop_.Enqueue(model::GetOwnerName(*obj));
+      harness_.loop().Enqueue(model::GetOwnerName(*obj));
     }
   });
-}
+  harness_.SyncKind(cache_, kKindDeployment);
+  harness_.SyncKind(cache_, kKindReplicaSet);
 
-DeploymentController::~DeploymentController() {
-  if (downstream_) downstream_->Stop();
-  if (upstream_) upstream_->Stop();
-}
-
-void DeploymentController::Start() {
-  crashed_ = false;
-  informer_.Start(kKindDeployment);
-  informer_.Start(kKindReplicaSet);
-  if (mode_ != Mode::kKd) return;
-
-  kubedirect::HierarchyServer::Callbacks server_callbacks;
-  server_callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
+  runtime::ControllerHarness::UpstreamSpec upstream;
+  upstream.kind_filter = "__none__";
+  upstream.callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
     OnScaleMessage(msg);
   };
-  upstream_ = std::make_unique<kubedirect::HierarchyServer>(
-      env_.engine, env_.cost, endpoint_, link_scratch_,
-      /*kind_filter=*/"__none__", std::move(server_callbacks), &env_.metrics);
-  upstream_->Start();
+  harness_.ServeUpstream(std::move(upstream));
 
-  kubedirect::HierarchyClient::Callbacks client_callbacks;
-  client_callbacks.on_ready = [this](const kubedirect::ChangeSet&) {
+  runtime::ControllerHarness::DownstreamSpec link;
+  link.peer = Addresses::ReplicaSetController();
+  link.kind_filter = "__none__";
+  link.callbacks.on_ready = [this](const kubedirect::ChangeSet&) {
     last_sent_.clear();
-    for (const auto& [name, replicas] : desired_) loop_.Enqueue(name);
+    for (const auto& [name, replicas] : desired_) harness_.loop().Enqueue(name);
   };
-  client_callbacks.on_down = [this] { last_sent_.clear(); };
-  downstream_ = std::make_unique<kubedirect::HierarchyClient>(
-      env_.engine, env_.cost, endpoint_, Addresses::ReplicaSetController(),
-      link_scratch_, /*kind_filter=*/"__none__", nullptr,
-      std::move(client_callbacks), &env_.metrics);
-  downstream_->Start();
-}
+  link.callbacks.on_down = [this] { last_sent_.clear(); };
+  harness_.ConnectDownstream(std::move(link));
 
-bool DeploymentController::link_ready() const {
-  return downstream_ != nullptr && downstream_->ready();
+  harness_.OnCrash([this] {
+    desired_.clear();
+    last_sent_.clear();
+  });
 }
 
 void DeploymentController::OnScaleMessage(const kubedirect::KdMessage& msg) {
@@ -78,7 +68,7 @@ void DeploymentController::OnScaleMessage(const kubedirect::KdMessage& msg) {
   auto it = msg.attrs.find("spec.replicas");
   if (it == msg.attrs.end() || it->second.is_pointer()) return;
   desired_[name] = it->second.literal().as_int();
-  loop_.Enqueue(name);
+  harness_.loop().Enqueue(name);
 }
 
 const ApiObject* DeploymentController::FindReplicaSet(
@@ -111,7 +101,7 @@ Duration DeploymentController::Reconcile(const std::string& deployment_name) {
   if (rs == nullptr) {
     // ReplicaSet not registered yet (platform still configuring);
     // retry once it appears in the cache.
-    loop_.EnqueueAfter(deployment_name, Milliseconds(20));
+    harness_.loop().EnqueueAfter(deployment_name, Milliseconds(20));
     return 0;
   }
 
@@ -120,11 +110,14 @@ Duration DeploymentController::Reconcile(const std::string& deployment_name) {
     const std::string rs_key = rs->Key();
     auto sent = last_sent_.find(rs_key);
     if (sent != last_sent_.end() && sent->second == desired) return 0;
-    if (!downstream_ || !downstream_->ready()) return 0;  // re-sent on_ready
+    kubedirect::HierarchyClient* downstream = harness_.downstream();
+    if (downstream == nullptr || !downstream->ready()) {
+      return 0;  // re-sent on_ready
+    }
     kubedirect::KdMessage msg;
     msg.obj_key = rs_key;
     msg.attrs.emplace("spec.replicas", kubedirect::KdValue::Literal(desired));
-    downstream_->SendUpsert(msg);
+    downstream->SendUpsert(msg);
     last_sent_[rs_key] = desired;
     env_.metrics.MarkStop("deployment", env_.engine.now());
     return 0;
@@ -136,38 +129,18 @@ Duration DeploymentController::Reconcile(const std::string& deployment_name) {
   }
   ApiObject updated = *rs;
   model::SetReplicas(updated, desired);
-  api_.Update(updated, [this, deployment_name](StatusOr<ApiObject> result) {
-    env_.metrics.MarkStop("deployment", env_.engine.now());
-    if (!result.ok()) {
-      if (!crashed_) loop_.EnqueueAfter(deployment_name, Milliseconds(5));
-      return;
-    }
-    cache_.Upsert(std::move(*result));
-  });
+  harness_.api().Update(
+      updated, [this, deployment_name](StatusOr<ApiObject> result) {
+        env_.metrics.MarkStop("deployment", env_.engine.now());
+        if (!result.ok()) {
+          if (!harness_.crashed()) {
+            harness_.loop().EnqueueAfter(deployment_name, Milliseconds(5));
+          }
+          return;
+        }
+        cache_.Upsert(std::move(*result));
+      });
   return 0;
 }
-
-void DeploymentController::Crash() {
-  crashed_ = true;
-  desired_.clear();
-  last_sent_.clear();
-  cache_.Clear();
-  loop_.Clear();
-  informer_.Stop();
-  // Crash the endpoint first: connections die silently (no FIN), the
-  // peers detect the loss via keepalive timeout — then tear down the
-  // link objects locally.
-  env_.network.CrashEndpoint(endpoint_.address());
-  if (downstream_) {
-    downstream_->Stop();
-    downstream_.reset();
-  }
-  if (upstream_) {
-    upstream_->Stop();
-    upstream_.reset();
-  }
-}
-
-void DeploymentController::Restart() { Start(); }
 
 }  // namespace kd::controllers

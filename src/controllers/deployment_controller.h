@@ -12,29 +12,22 @@
 #pragma once
 
 #include <map>
-#include <memory>
 #include <string>
 
-#include "apiserver/client.h"
 #include "controllers/types.h"
-#include "kubedirect/hierarchy.h"
-#include "runtime/cache.h"
-#include "runtime/control_loop.h"
-#include "runtime/env.h"
-#include "runtime/informer.h"
+#include "runtime/harness.h"
 
 namespace kd::controllers {
 
 class DeploymentController {
  public:
   DeploymentController(runtime::Env& env, Mode mode);
-  ~DeploymentController();
 
-  void Start();
-  void Crash();
-  void Restart();
+  void Start() { harness_.Start(); }
+  void Crash() { harness_.Crash(); }
+  void Restart() { harness_.Restart(); }
 
-  bool link_ready() const;
+  bool link_ready() const { return harness_.link_ready(); }
 
  private:
   Duration Reconcile(const std::string& deployment_name);
@@ -44,21 +37,13 @@ class DeploymentController {
 
   runtime::Env& env_;
   Mode mode_;
+  runtime::ControllerHarness harness_;
   runtime::ObjectCache cache_;  // Deployments + ReplicaSets (informer)
-  apiserver::ApiClient api_;
-  runtime::Informer informer_;
-  runtime::ControlLoop loop_;
 
   // Kd mode: the authoritative desired replicas per Deployment (fed by
   // direct messages; the API-server copy is guarded and stale).
   std::map<std::string, std::int64_t> desired_;
   std::map<std::string, std::int64_t> last_sent_;  // per ReplicaSet key
-
-  net::Endpoint endpoint_;
-  runtime::ObjectCache link_scratch_;
-  std::unique_ptr<kubedirect::HierarchyServer> upstream_;
-  std::unique_ptr<kubedirect::HierarchyClient> downstream_;
-  bool crashed_ = false;
 };
 
 }  // namespace kd::controllers

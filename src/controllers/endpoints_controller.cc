@@ -1,0 +1,166 @@
+#include "controllers/endpoints_controller.h"
+
+#include "common/logging.h"
+#include "model/objects.h"
+
+namespace kd::controllers {
+
+using model::ApiObject;
+using model::kKindEndpoints;
+using model::kKindPod;
+using model::kKindService;
+
+EndpointsController::EndpointsController(runtime::Env& env, Mode mode)
+    : env_(env),
+      mode_(mode),
+      harness_(env, mode,
+               {.name = "endpoints",
+                .client_id = "endpoints-controller",
+                .address = Addresses::EndpointsController(),
+                .qps = env.cost.controller_qps,
+                .burst = env.cost.controller_burst}) {
+  harness_.SetReconciler(
+      [this](const std::string& key) { return Reconcile(key); });
+  cache_.AddChangeHandler([this](const std::string& key,
+                                 const ApiObject* before,
+                                 const ApiObject* after) {
+    (void)key;
+    const ApiObject* obj = after != nullptr ? after : before;
+    if (obj == nullptr) return;
+    if (obj->kind == kKindPod) {
+      OnPodChange(before, after);
+    } else if (obj->kind == kKindService && after != nullptr) {
+      // A new Service may select pods that arrived first.
+      harness_.loop().Enqueue(after->name);
+    }
+  });
+  harness_.SyncKind(cache_, kKindService);
+  harness_.SyncKind(cache_, kKindPod);
+  // K8s path only: read-modify-write of the Endpoints objects we own.
+  harness_.SyncKind(cache_, kKindEndpoints,
+                    runtime::ControllerHarness::When::kK8sOnly);
+
+  // Kd path (the harness only dials it in Kd mode): the direct stream
+  // to KubeProxy.
+  runtime::ControllerHarness::DownstreamSpec link;
+  link.peer = Addresses::KubeProxy();
+  link.kind_filter = "__none__";
+  link.callbacks.on_ready = [this](const kubedirect::ChangeSet&) {
+    // Level-triggered: resend every address list after a handshake.
+    last_sent_.clear();
+    for (const ApiObject* svc : cache_.List(kKindService)) {
+      harness_.loop().Enqueue(svc->name);
+    }
+  };
+  link.callbacks.on_down = [this] { last_sent_.clear(); };
+  harness_.ConnectDownstream(std::move(link));
+
+  harness_.OnCrash([this] {
+    addresses_.clear();
+    last_sent_.clear();
+  });
+}
+
+void EndpointsController::OnPodChange(const ApiObject* before,
+                                      const ApiObject* after) {
+  // Ready = Running with an IP and not Terminating — the condition the
+  // Gateway can route to.
+  auto ready_ip = [](const ApiObject* pod) -> std::string {
+    if (pod == nullptr) return "";
+    if (model::GetPodPhase(*pod) != model::PodPhase::kRunning) return "";
+    if (model::IsTerminating(*pod)) return "";
+    return model::GetPodIp(*pod);
+  };
+  auto service_of = [](const ApiObject* pod) -> std::string {
+    return pod == nullptr ? "" : model::GetLabel(*pod, "app");
+  };
+
+  bool changed = false;
+  std::string service;
+  const std::string prev_ip = ready_ip(before);
+  if (!prev_ip.empty()) {
+    service = service_of(before);
+    if (!service.empty() && addresses_[service].erase(prev_ip) > 0) {
+      changed = true;
+    }
+  }
+  const std::string next_ip = ready_ip(after);
+  if (!next_ip.empty()) {
+    service = service_of(after);
+    if (!service.empty() && addresses_[service].insert(next_ip).second) {
+      changed = true;
+    }
+  }
+  if (!changed || service.empty()) return;
+
+  // Batching: the loop's workqueue dedup folds every pod change inside
+  // the window into one publish of the *latest* address set.
+  const Duration window = mode_ == Mode::kKd
+                              ? env_.cost.kd_endpoint_stream_latency
+                              : env_.cost.endpoints_batch_window;
+  harness_.loop().EnqueueAfter(service, window);
+}
+
+std::vector<std::string> EndpointsController::AddressesFor(
+    const std::string& service) const {
+  auto it = addresses_.find(service);
+  if (it == addresses_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+Duration EndpointsController::Reconcile(const std::string& service_name) {
+  const ApiObject* svc =
+      cache_.Get(ApiObject::MakeKey(kKindService, service_name));
+  if (svc == nullptr) return 0;
+  std::vector<std::string> addrs = AddressesFor(service_name);
+
+  env_.metrics.MarkStart("endpoints", env_.engine.now());
+  if (mode_ == Mode::kKd) {
+    kubedirect::HierarchyClient* downstream = harness_.downstream();
+    if (downstream == nullptr || !downstream->ready()) {
+      return 0;  // re-sent on_ready
+    }
+    auto sent = last_sent_.find(service_name);
+    if (sent != last_sent_.end() && sent->second == addrs) return 0;
+    kubedirect::KdMessage msg;
+    msg.obj_key = ApiObject::MakeKey(kKindEndpoints, service_name);
+    model::Value list = model::Value::MakeArray();
+    for (const std::string& a : addrs) list.push_back(a);
+    msg.attrs.emplace("spec.addresses",
+                      kubedirect::KdValue::Literal(std::move(list)));
+    downstream->SendUpsert(msg);
+    last_sent_[service_name] = std::move(addrs);
+    env_.metrics.MarkStop("endpoints", env_.engine.now());
+    return 0;
+  }
+
+  // K8s path: one Endpoints object write per batch window.
+  const ApiObject* existing =
+      cache_.Get(ApiObject::MakeKey(kKindEndpoints, service_name));
+  if (existing != nullptr && model::GetEndpointsAddresses(*existing) == addrs) {
+    env_.metrics.MarkStop("endpoints", env_.engine.now());
+    return 0;
+  }
+  auto on_done = [this, service_name](StatusOr<ApiObject> result) {
+    env_.metrics.MarkStop("endpoints", env_.engine.now());
+    if (!result.ok()) {
+      // Conflict or transient failure: retry with the refreshed cache.
+      if (!harness_.crashed()) {
+        harness_.loop().EnqueueAfter(service_name, Milliseconds(5));
+      }
+      return;
+    }
+    cache_.Upsert(std::move(*result));
+  };
+  if (existing == nullptr) {
+    harness_.api().Create(model::MakeEndpoints(service_name, addrs),
+                          std::move(on_done));
+  } else {
+    ApiObject updated = *existing;
+    model::SetEndpointsAddresses(updated, addrs);
+    harness_.api().Update(std::move(updated), std::move(on_done));
+  }
+  return 0;
+}
+
+}  // namespace kd::controllers

@@ -1,0 +1,63 @@
+// The Endpoints controller — the §5 Pod-discovery leg that connects
+// the narrow waist's output (Running pods, published via the API
+// server in both modes) to the data plane.
+//
+// Watches Services and Pods through the API server and maintains the
+// ready-address set per Service (selector: the "app" label). The two
+// propagation paths of Fig. 8b:
+//   K8s — batches pod changes for `endpoints_batch_window`, then
+//         writes one Endpoints object through the (rate-limited) API
+//         server; KubeProxy learns via its Endpoints informer.
+//   Kd  — a read-only transformation needs no state-management
+//         machinery: the address list streams directly to KubeProxy
+//         over a level-triggered ("__none__") KubeDirect link at
+//         sub-millisecond latency, no API write.
+//
+// Either way the Gateway consumes real Endpoints state, not a
+// simulation shortcut.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "controllers/types.h"
+#include "runtime/harness.h"
+
+namespace kd::controllers {
+
+class EndpointsController {
+ public:
+  EndpointsController(runtime::Env& env, Mode mode);
+
+  void Start() { harness_.Start(); }
+  void Crash() { harness_.Crash(); }
+  void Restart() { harness_.Restart(); }
+
+  bool link_ready() const { return harness_.link_ready(); }
+
+  // Current ready-address view for `service` (test observability).
+  std::vector<std::string> AddressesFor(const std::string& service) const;
+
+ private:
+  Duration Reconcile(const std::string& service_name);
+  // Routes a pod mutation into the per-service address set; enqueues
+  // the service behind the mode's batching window when the set changed.
+  void OnPodChange(const model::ApiObject* before,
+                   const model::ApiObject* after);
+
+  runtime::Env& env_;
+  Mode mode_;
+  runtime::ControllerHarness harness_;
+  runtime::ObjectCache cache_;  // Services + Pods (+ Endpoints in K8s)
+
+  // service -> ready pod IPs, maintained incrementally by the pod
+  // change handler (reconcile publishes, it never re-scans pods).
+  std::map<std::string, std::set<std::string>> addresses_;
+  // Kd: last address list streamed per service (level-triggered resend
+  // after link resets).
+  std::map<std::string, std::vector<std::string>> last_sent_;
+};
+
+}  // namespace kd::controllers

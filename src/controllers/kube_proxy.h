@@ -1,0 +1,54 @@
+// KubeProxy — the data-plane consumer of the Endpoints state (§5).
+//
+// Maintains the per-Service ready-address table the Gateway routes
+// with:
+//   K8s — an Endpoints informer (List + watch through the API server)
+//         mirrors the objects the Endpoints controller writes;
+//   Kd  — a KubeDirect HierarchyServer receives the address lists the
+//         Endpoints controller streams directly (level-triggered
+//         "__none__" link, no API server on the path).
+//
+// The sink fires with the full current list whenever a Service's
+// addresses change — the same contract faas::Backend::EndpointSink
+// exposes, so the Gateway is transport-agnostic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "controllers/types.h"
+#include "runtime/harness.h"
+
+namespace kd::controllers {
+
+class KubeProxy {
+ public:
+  using Sink = std::function<void(const std::string& service,
+                                  const std::vector<std::string>& addresses)>;
+
+  KubeProxy(runtime::Env& env, Mode mode);
+
+  void Start() { harness_.Start(); }
+  void Crash() { harness_.Crash(); }
+  void Restart() { harness_.Restart(); }
+
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+
+  // Current routing table entry (test observability).
+  std::vector<std::string> AddressesFor(const std::string& service) const;
+
+ private:
+  void Publish(const std::string& service);
+
+  runtime::Env& env_;
+  Mode mode_;
+  runtime::ControllerHarness harness_;
+  runtime::ObjectCache ep_cache_;  // K8s: Endpoints (informer)
+
+  Sink sink_;
+  std::map<std::string, std::vector<std::string>> table_;
+};
+
+}  // namespace kd::controllers

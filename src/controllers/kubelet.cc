@@ -1,8 +1,8 @@
 #include "controllers/kubelet.h"
 
 #include "common/logging.h"
-#include "kubedirect/materialize.h"
 #include "common/strings.h"
+#include "kubedirect/materialize.h"
 #include "model/objects.h"
 
 namespace kd::controllers {
@@ -18,11 +18,13 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
       mode_(mode),
       node_name_(std::move(node_name)),
       sandbox_(sandbox),
-      api_(env.engine, env.apiserver, "kubelet-" + node_name_,
-           env.cost.kubelet_qps, env.cost.kubelet_burst),
-      rs_informer_(api_, env.apiserver, cache_),
-      node_informer_(api_, env.apiserver, node_watch_cache_),
-      endpoint_(env.network, Addresses::Kubelet(node_name_)) {
+      harness_(env, mode,
+               {.name = "kubelet-" + node_name_,
+                .client_id = "kubelet-" + node_name_,
+                .address = Addresses::Kubelet(node_name_),
+                .qps = env.cost.kubelet_qps,
+                .burst = env.cost.kubelet_burst,
+                .api_metrics = false}) {
   // Drain signal: the Scheduler marks our Node invalid when it cannot
   // reach us (§4.3 "Cancellation").
   node_watch_cache_.AddChangeHandler([this](const std::string& key,
@@ -33,73 +35,30 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
     if (after == nullptr || after->name != node_name_) return;
     if (model::IsNodeInvalid(*after)) DrainAllKdPods();
   });
-}
 
-Kubelet::~Kubelet() {
-  if (upstream_) upstream_->Stop();
-  if (pod_watch_active_) env_.apiserver.Unwatch(pod_watch_);
-  if (node_watch_active_) env_.apiserver.Unwatch(node_watch_);
-}
+  // Kd mode: ReplicaSet templates for dynamic materialization.
+  harness_.SyncKind(cache_, kKindReplicaSet,
+                    runtime::ControllerHarness::When::kKdOnly);
+  harness_.TrackCache(node_watch_cache_);
 
-void Kubelet::Start() {
-  crashed_ = false;
-  if (mode_ == Mode::kKd) {
-    // Templates for dynamic materialization.
-    rs_informer_.Start(kKindReplicaSet);
-    // Drain watch: only THIS node's object matters (a full Node list
-    // sync per kubelet would be O(M^2) cluster-wide at boot).
-    const std::string me = node_name_;
-    node_watch_ = env_.apiserver.Watch(
-        kKindNode,
-        [me](const ApiObject& node) { return node.name == me; },
-        [this](const apiserver::WatchEvent& event) {
-          if (crashed_) return;
-          if (event.type == apiserver::WatchEventType::kDeleted) {
-            node_watch_cache_.Remove(event.object.Key());
-          } else {
-            node_watch_cache_.Upsert(event.object);
-          }
-        });
-    node_watch_active_ = true;
-    api_.Get(kKindNode, node_name_, [this](StatusOr<ApiObject> result) {
-      if (result.ok() && !crashed_) node_watch_cache_.Upsert(std::move(*result));
-    });
-
-    kubedirect::HierarchyServer::Callbacks callbacks;
-    callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
-      OnPodMessage(msg);
-    };
-    callbacks.on_tombstone = [this](const std::string& key) {
-      Terminate(key, /*notify_upstream=*/true);
-    };
-    upstream_ = std::make_unique<kubedirect::HierarchyServer>(
-        env_.engine, env_.cost, endpoint_, cache_, /*kind_filter=*/kKindPod,
-        std::move(callbacks), &env_.metrics);
-    upstream_->Start();
-
-    // Crash recovery: containers of *published* pods outlive a Kubelet
-    // restart (they are real processes); re-adopt them from the API
-    // server. Unpublished pods died with us (the TLA+ spec's
-    // RunningPods' = APIPods).
-    api_.List(kKindPod, [this](StatusOr<std::vector<ApiObject>> result) {
-      if (!result.ok() || crashed_) return;
-      for (auto& pod : *result) {
-        if (model::GetNodeName(pod) == node_name_) {
-          published_.insert(pod.Key());
-          cache_.Upsert(std::move(pod));
+  // Drain watch: only THIS node's object matters.
+  const std::string me = node_name_;
+  harness_.WatchFiltered(
+      kKindNode, [me](const ApiObject& node) { return node.name == me; },
+      [this](const apiserver::WatchEvent& event) {
+        if (event.type == apiserver::WatchEventType::kDeleted) {
+          node_watch_cache_.Remove(event.object.Key());
+        } else {
+          node_watch_cache_.Upsert(event.object);
         }
-      }
-    });
-    return;
-  }
+      },
+      runtime::ControllerHarness::When::kKdOnly);
 
   // K8s mode: field-selector watch on pods bound to this node.
-  const std::string me = node_name_;
-  pod_watch_ = env_.apiserver.Watch(
+  harness_.WatchFiltered(
       kKindPod,
       [me](const ApiObject& pod) { return model::GetNodeName(pod) == me; },
       [this](const apiserver::WatchEvent& event) {
-        if (crashed_) return;
         switch (event.type) {
           case apiserver::WatchEventType::kAdded:
           case apiserver::WatchEventType::kModified:
@@ -115,14 +74,64 @@ void Kubelet::Start() {
             break;
           }
         }
-      });
-  pod_watch_active_ = true;
-  // Adopt pods bound to us that predate the watch (restart path).
-  api_.List(kKindPod, [this](StatusOr<std::vector<ApiObject>> result) {
-    if (!result.ok() || crashed_) return;
-    for (auto& pod : *result) {
-      if (model::GetNodeName(pod) == node_name_) OnPodBound(std::move(pod));
+      },
+      runtime::ControllerHarness::When::kK8sOnly);
+
+  runtime::ControllerHarness::UpstreamSpec upstream;
+  upstream.cache = &cache_;
+  upstream.kind_filter = kKindPod;
+  upstream.callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
+    OnPodMessage(msg);
+  };
+  upstream.callbacks.on_tombstone = [this](const std::string& key) {
+    Terminate(key, /*notify_upstream=*/true);
+  };
+  harness_.ServeUpstream(std::move(upstream));
+
+  harness_.OnStart([this] {
+    if (mode_ == Mode::kKd) {
+      harness_.api().Get(kKindNode, node_name_,
+                         [this](StatusOr<ApiObject> result) {
+                           if (result.ok() && !harness_.crashed()) {
+                             node_watch_cache_.Upsert(std::move(*result));
+                           }
+                         });
+      // Crash recovery: containers of *published* pods outlive a
+      // Kubelet restart (they are real processes); re-adopt them from
+      // the API server. Unpublished pods died with us (the TLA+ spec's
+      // RunningPods' = APIPods).
+      harness_.api().List(
+          kKindPod, [this](StatusOr<std::vector<ApiObject>> result) {
+            if (!result.ok() || harness_.crashed()) return;
+            for (auto& pod : *result) {
+              if (model::GetNodeName(pod) == node_name_) {
+                published_.insert(pod.Key());
+                cache_.Upsert(std::move(pod));
+              }
+            }
+          });
+      return;
     }
+    // Adopt pods bound to us that predate the watch (restart path).
+    harness_.api().List(
+        kKindPod, [this](StatusOr<std::vector<ApiObject>> result) {
+          if (!result.ok() || harness_.crashed()) return;
+          for (auto& pod : *result) {
+            if (model::GetNodeName(pod) == node_name_) {
+              OnPodBound(std::move(pod));
+            }
+          }
+        });
+  });
+
+  harness_.OnCrash([this] {
+    sandbox_queue_.clear();
+    starting_.clear();
+    start_times_.clear();
+    active_starts_ = 0;
+    published_.clear();
+    materializing_.clear();
+    condemned_.clear();
   });
 }
 
@@ -133,20 +142,20 @@ void Kubelet::OnPodMessage(const kubedirect::KdMessage& msg) {
     // Dangling ReplicaSet pointer: informer lag; retry shortly.
     const kubedirect::KdMessage retry = msg;
     env_.engine.ScheduleAfter(Milliseconds(5), [this, retry] {
-      if (!crashed_) OnPodMessage(retry);
+      if (!harness_.crashed()) OnPodMessage(retry);
     });
     return;
   }
   env_.engine.ScheduleAfter(
       env_.cost.kd_materialize,
       [this, pod = std::move(*pod)]() mutable {
-        if (crashed_) return;
+        if (harness_.crashed()) return;
         const std::string key = pod.Key();
         materializing_.erase(key);
         if (condemned_.erase(key) > 0) {
           // Tombstoned while materializing: never start it; answer the
           // (idempotent) termination.
-          if (upstream_) upstream_->SendRemoveNow(key);
+          if (harness_.upstream()) harness_.upstream()->SendRemoveNow(key);
           return;
         }
         OnPodBound(std::move(pod));
@@ -183,11 +192,11 @@ void Kubelet::PumpSandboxQueue() {
     ++active_starts_;
     env_.engine.ScheduleAfter(sandbox_.cold_start, [this, key] {
       --active_starts_;
-      if (!crashed_ && starting_.count(key)) {
+      if (!harness_.crashed() && starting_.count(key)) {
         starting_.erase(key);
         OnSandboxReady(key);
       }
-      if (!crashed_) PumpSandboxQueue();
+      if (!harness_.crashed()) PumpSandboxQueue();
     });
   }
 }
@@ -213,7 +222,7 @@ void Kubelet::OnSandboxReady(const std::string& pod_key) {
   cache_.Upsert(running);
   env_.metrics.Count("sandboxes_started");
 
-  if (mode_ == Mode::kKd && upstream_) {
+  if (mode_ == Mode::kKd && harness_.upstream()) {
     // Soft-invalidate upstream: phase + IP (§4.2).
     kubedirect::KdMessage delta;
     delta.obj_key = pod_key;
@@ -222,7 +231,7 @@ void Kubelet::OnSandboxReady(const std::string& pod_key) {
     delta.attrs.emplace("status.podIP",
                         kubedirect::KdValue::Literal(
                             model::GetPodIp(running)));
-    upstream_->SendSoftInvalidate(delta);
+    harness_.upstream()->SendSoftInvalidate(delta);
   }
   Publish(running);
 }
@@ -233,11 +242,12 @@ void Kubelet::Publish(const ApiObject& pod) {
   // Prometheus) see a standard Kubernetes pod — both modes.
   const std::string key = pod.Key();
   auto on_done = [this, key](StatusOr<ApiObject> result) {
-    if (!result.ok() || crashed_) return;
+    if (!result.ok() || harness_.crashed()) return;
     if (cache_.Get(key) == nullptr) {
       // Terminated while the publish was in flight: the API object is
       // an orphan — remove it immediately.
-      api_.Delete(kKindPod, key.substr(key.find('/') + 1), [](Status) {});
+      harness_.api().Delete(kKindPod, key.substr(key.find('/') + 1),
+                            [](Status) {});
       return;
     }
     published_.insert(key);
@@ -254,30 +264,31 @@ void Kubelet::Publish(const ApiObject& pod) {
   };
   if (mode_ == Mode::kKd) {
     // The pod was hidden from the API server until now: Create.
-    api_.Create(pod, std::move(on_done));
+    harness_.api().Create(pod, std::move(on_done));
     return;
   }
   // K8s mode: the object exists; update its status. Fetch-free
   // optimistic update using our watch-fresh copy.
-  api_.Update(pod, [this, key, on_done](StatusOr<ApiObject> result) {
-    if (!result.ok() && !crashed_ &&
+  harness_.api().Update(pod, [this, key, on_done](StatusOr<ApiObject> result) {
+    if (!result.ok() && !harness_.crashed() &&
         result.status().code() == StatusCode::kConflict) {
       // Stale version: re-read then retry once the informer catches up.
-      api_.Get(kKindPod, key.substr(key.find('/') + 1),
-               [this, key](StatusOr<ApiObject> fresh) {
-                 if (!fresh.ok() || crashed_) return;
-                 const ApiObject* local = cache_.Get(key);
-                 if (local == nullptr) return;
-                 ApiObject merged = *fresh;
-                 merged.status = local->status;
-                 api_.Update(merged, [this, key](StatusOr<ApiObject> r2) {
-                   if (r2.ok()) {
-                     published_.insert(key);
-                     env_.metrics.Count("pods_published");
-                     env_.metrics.MarkStop("kubelet", env_.engine.now());
-                   }
-                 });
-               });
+      harness_.api().Get(
+          kKindPod, key.substr(key.find('/') + 1),
+          [this, key](StatusOr<ApiObject> fresh) {
+            if (!fresh.ok() || harness_.crashed()) return;
+            const ApiObject* local = cache_.Get(key);
+            if (local == nullptr) return;
+            ApiObject merged = *fresh;
+            merged.status = local->status;
+            harness_.api().Update(merged, [this, key](StatusOr<ApiObject> r2) {
+              if (r2.ok()) {
+                published_.insert(key);
+                env_.metrics.Count("pods_published");
+                env_.metrics.MarkStop("kubelet", env_.engine.now());
+              }
+            });
+          });
       return;
     }
     on_done(std::move(result));
@@ -291,11 +302,11 @@ void Kubelet::Terminate(const std::string& pod_key, bool notify_upstream) {
     if (materializing_.count(pod_key)) {
       // The pod's forward message is mid-materialization; defer.
       condemned_.insert(pod_key);
-    } else if (notify_upstream && mode_ == Mode::kKd && upstream_) {
+    } else if (notify_upstream && mode_ == Mode::kKd && harness_.upstream()) {
       // Unknown pod: the forward message was dropped in flight.
       // Termination is idempotent — answer with the removal signal so
       // the upstream settles (§4.3).
-      upstream_->SendRemoveNow(pod_key);
+      harness_.upstream()->SendRemoveNow(pod_key);
     }
     return;
   }
@@ -307,15 +318,16 @@ void Kubelet::Terminate(const std::string& pod_key, bool notify_upstream) {
   env_.engine.ScheduleAfter(
       env_.cost.kubelet_terminate, [this, pod_key, was_published,
                                     notify_upstream] {
-        if (crashed_) return;
+        if (harness_.crashed()) return;
         if (was_published) {
-          api_.Delete(kKindPod, pod_key.substr(pod_key.find('/') + 1),
-                      [](Status) {});
+          harness_.api().Delete(kKindPod,
+                                pod_key.substr(pod_key.find('/') + 1),
+                                [](Status) {});
         }
-        if (notify_upstream && mode_ == Mode::kKd && upstream_) {
+        if (notify_upstream && mode_ == Mode::kKd && harness_.upstream()) {
           // Immediate flush so synchronous preemption observes minimal
           // latency.
-          upstream_->SendRemoveNow(pod_key);
+          harness_.upstream()->SendRemoveNow(pod_key);
         }
       });
 }
@@ -324,8 +336,8 @@ void Kubelet::Evict(const std::string& pod_key) {
   Terminate(pod_key, /*notify_upstream=*/mode_ == Mode::kKd);
   if (mode_ == Mode::kK8s) {
     // Stock eviction deletes the API object; controllers observe it.
-    api_.Delete(kKindPod, pod_key.substr(pod_key.find('/') + 1),
-                [](Status) {});
+    harness_.api().Delete(kKindPod, pod_key.substr(pod_key.find('/') + 1),
+                          [](Status) {});
   }
 }
 
@@ -349,35 +361,5 @@ std::size_t Kubelet::running_pods() const {
   }
   return n;
 }
-
-void Kubelet::Crash() {
-  crashed_ = true;
-  cache_.Clear();
-  node_watch_cache_.Clear();
-  sandbox_queue_.clear();
-  starting_.clear();
-  start_times_.clear();
-  active_starts_ = 0;
-  published_.clear();
-  materializing_.clear();
-  condemned_.clear();
-  rs_informer_.Stop();
-  node_informer_.Stop();
-  if (node_watch_active_) {
-    env_.apiserver.Unwatch(node_watch_);
-    node_watch_active_ = false;
-  }
-  if (pod_watch_active_) {
-    env_.apiserver.Unwatch(pod_watch_);
-    pod_watch_active_ = false;
-  }
-  env_.network.CrashEndpoint(endpoint_.address());
-  if (upstream_) {
-    upstream_->Stop();
-    upstream_.reset();
-  }
-}
-
-void Kubelet::Restart() { Start(); }
 
 }  // namespace kd::controllers

@@ -17,16 +17,11 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
 
-#include "apiserver/client.h"
 #include "controllers/types.h"
-#include "kubedirect/hierarchy.h"
-#include "runtime/cache.h"
-#include "runtime/env.h"
-#include "runtime/informer.h"
+#include "runtime/harness.h"
 
 namespace kd::controllers {
 
@@ -48,11 +43,10 @@ class Kubelet {
  public:
   Kubelet(runtime::Env& env, Mode mode, std::string node_name,
           SandboxParams sandbox);
-  ~Kubelet();
 
-  void Start();
-  void Crash();
-  void Restart();
+  void Start() { harness_.Start(); }
+  void Crash() { harness_.Crash(); }
+  void Restart() { harness_.Restart(); }
 
   const std::string& node_name() const { return node_name_; }
 
@@ -81,15 +75,12 @@ class Kubelet {
   Mode mode_;
   std::string node_name_;
   SandboxParams sandbox_;
+  runtime::ControllerHarness harness_;
   runtime::ObjectCache cache_;  // its pods (+ ReplicaSets in Kd mode)
-  apiserver::ApiClient api_;
-  runtime::Informer rs_informer_;    // Kd mode: templates for materialization
-  runtime::Informer node_informer_;  // the drain signal (§4.3 Cancellation)
-
-  apiserver::WatchId pod_watch_ = 0;  // K8s mode filtered watch
-  bool pod_watch_active_ = false;
-  apiserver::WatchId node_watch_ = 0;  // Kd mode: own-Node drain watch
-  bool node_watch_active_ = false;
+  // Kd mode: this node's own API object, fed by a server-side filtered
+  // watch (a full Node list sync per kubelet would be O(M^2)
+  // cluster-wide at boot). Carries the drain signal (§4.3).
+  runtime::ObjectCache node_watch_cache_;
 
   // Sandbox startup pipeline: bounded concurrency, FIFO admission.
   std::deque<std::string> sandbox_queue_;
@@ -104,11 +95,6 @@ class Kubelet {
   std::set<std::string> materializing_;
   std::set<std::string> condemned_;
   std::uint32_t ip_counter_ = 0;
-
-  net::Endpoint endpoint_;
-  std::unique_ptr<kubedirect::HierarchyServer> upstream_;
-  runtime::ObjectCache node_watch_cache_;
-  bool crashed_ = false;
 };
 
 }  // namespace kd::controllers

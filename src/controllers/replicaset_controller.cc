@@ -15,18 +15,19 @@ using model::kKindReplicaSet;
 ReplicaSetController::ReplicaSetController(runtime::Env& env, Mode mode)
     : env_(env),
       mode_(mode),
-      api_(env.engine, env.apiserver, "replicaset-controller",
-           env.cost.controller_qps, env.cost.controller_burst, &env.metrics),
-      informer_(api_, env.apiserver, rs_cache_),
-      pod_informer_(api_, env.apiserver, pod_cache_),
-      loop_(env.engine, env.cost, "replicaset", &env.metrics),
-      endpoint_(env.network, Addresses::ReplicaSetController()) {
-  loop_.SetReconciler([this](const std::string& key) { return Reconcile(key); });
+      harness_(env, mode,
+               {.name = "replicaset",
+                .client_id = "replicaset-controller",
+                .address = Addresses::ReplicaSetController(),
+                .qps = env.cost.controller_qps,
+                .burst = env.cost.controller_burst}) {
+  harness_.SetReconciler(
+      [this](const std::string& key) { return Reconcile(key); });
   rs_cache_.AddChangeHandler([this](const std::string& key,
                                     const ApiObject* before,
                                     const ApiObject* after) {
     (void)before;
-    if (after != nullptr) loop_.Enqueue(key);
+    if (after != nullptr) harness_.loop().Enqueue(key);
   });
   // Pod events re-trigger the owning ReplicaSet (replacement logic and
   // expectation accounting).
@@ -49,7 +50,7 @@ ReplicaSetController::ReplicaSetController(runtime::Env& env, Mode mode)
           it->second.erase(key);
           if (it->second.empty()) owned_pods_.erase(it);
         }
-        if (!model::IsTerminating(*before) && !tombstones_.Has(key)) {
+        if (!model::IsTerminating(*before) && !harness_.tombstones().Has(key)) {
           --live_owned_[prev];
         }
       }
@@ -58,7 +59,7 @@ ReplicaSetController::ReplicaSetController(runtime::Env& env, Mode mode)
     if (owner.empty()) return;
     if (after != nullptr) {
       owned_pods_[owner].insert(key);
-      if (!model::IsTerminating(*after) && !tombstones_.Has(key)) {
+      if (!model::IsTerminating(*after) && !harness_.tombstones().Has(key)) {
         ++live_owned_[owner];
       }
     }
@@ -73,70 +74,61 @@ ReplicaSetController::ReplicaSetController(runtime::Env& env, Mode mode)
         if (it != pending_deletes_.end() && it->second > 0) --it->second;
       }
     }
-    loop_.Enqueue(rs_key);
+    harness_.loop().Enqueue(rs_key);
   });
-}
 
-ReplicaSetController::~ReplicaSetController() {
-  if (downstream_) downstream_->Stop();
-  if (upstream_) upstream_->Stop();
-}
+  harness_.SyncKind(rs_cache_, kKindReplicaSet);
+  harness_.SyncKind(pod_cache_, kKindPod,
+                    runtime::ControllerHarness::When::kK8sOnly);
+  harness_.TrackCache(pod_cache_);  // Kd mode: ephemeral, still crash-cleared
 
-void ReplicaSetController::Start() {
-  crashed_ = false;
-  ++session_;
-  pod_counter_ = 0;
-  informer_.Start(kKindReplicaSet);
-  if (mode_ == Mode::kK8s) {
-    pod_informer_.Start(kKindPod);
-    return;
-  }
-
-  kubedirect::HierarchyServer::Callbacks server_callbacks;
-  server_callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
+  runtime::ControllerHarness::UpstreamSpec upstream;
+  upstream.kind_filter = "__none__";
+  upstream.callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
     OnScaleMessage(msg);
   };
-  upstream_ = std::make_unique<kubedirect::HierarchyServer>(
-      env_.engine, env_.cost, endpoint_, link_scratch_,
-      /*kind_filter=*/"__none__", std::move(server_callbacks), &env_.metrics);
-  upstream_->Start();
+  harness_.ServeUpstream(std::move(upstream));
 
-  kubedirect::HierarchyClient::Callbacks client_callbacks;
-  client_callbacks.on_ready = [this](const kubedirect::ChangeSet& changes) {
+  runtime::ControllerHarness::DownstreamSpec link;
+  link.peer = Addresses::Scheduler();
+  link.cache = &pod_cache_;
+  link.kind_filter = kKindPod;
+  link.callbacks.on_ready = [this](const kubedirect::ChangeSet& changes) {
     OnDownstreamReady(changes);
   };
-  client_callbacks.on_remove = [this](const std::string& pod_key) {
+  link.callbacks.on_remove = [this](const std::string& pod_key) {
     OnDownstreamRemove(pod_key);
   };
-  client_callbacks.on_soft_invalidate =
-      [](const kubedirect::KdMessage& delta) {
-        // Downstream progress (scheduling, readiness) already merged
-        // into pod_cache_ by the client; the RS controller is the head
-        // of the chain, so there is no one left to relay to.
-        (void)delta;
-      };
-  downstream_ = std::make_unique<kubedirect::HierarchyClient>(
-      env_.engine, env_.cost, endpoint_, Addresses::Scheduler(), pod_cache_,
-      /*kind_filter=*/kKindPod, nullptr, std::move(client_callbacks),
-      &env_.metrics);
-  downstream_->Start();
-}
+  link.callbacks.on_soft_invalidate = [](const kubedirect::KdMessage& delta) {
+    // Downstream progress (scheduling, readiness) already merged into
+    // pod_cache_ by the client; the RS controller is the head of the
+    // chain, so there is no one left to relay to.
+    (void)delta;
+  };
+  harness_.ConnectDownstream(std::move(link));
 
-bool ReplicaSetController::link_ready() const {
-  return downstream_ != nullptr && downstream_->ready();
+  harness_.OnStart([this] { pod_counter_ = 0; });
+  harness_.OnCrash([this] {
+    desired_.clear();
+    pending_creates_.clear();
+    pending_deletes_.clear();
+    // Cache Clear() fires no handlers: reset the indexes too.
+    owned_pods_.clear();
+    live_owned_.clear();
+  });
 }
 
 void ReplicaSetController::OnScaleMessage(const kubedirect::KdMessage& msg) {
   auto it = msg.attrs.find("spec.replicas");
   if (it == msg.attrs.end() || it->second.is_pointer()) return;
   desired_[msg.obj_key] = it->second.literal().as_int();
-  loop_.Enqueue(msg.obj_key);
+  harness_.loop().Enqueue(msg.obj_key);
 }
 
 void ReplicaSetController::EnqueueOwnerOf(const std::string& pod_key) {
   if (const ApiObject* pod = pod_cache_.Get(pod_key)) {
-    loop_.Enqueue(ApiObject::MakeKey(kKindReplicaSet,
-                                     model::GetOwnerName(*pod)));
+    harness_.loop().Enqueue(
+        ApiObject::MakeKey(kKindReplicaSet, model::GetOwnerName(*pod)));
   }
 }
 
@@ -148,12 +140,14 @@ void ReplicaSetController::OnDownstreamRemove(const std::string& pod_key) {
   pod_cache_.Remove(pod_key);
   pod_cache_.DropInvalid(pod_key);
   GcTombstone(pod_key);
-  if (downstream_) downstream_->SendAck(pod_key);
+  if (kubedirect::HierarchyClient* downstream = harness_.downstream()) {
+    downstream->SendAck(pod_key);
+  }
 }
 
 void ReplicaSetController::GcTombstone(const std::string& pod_key) {
-  if (!tombstones_.Has(pod_key)) return;
-  tombstones_.Gc(pod_key);
+  if (!harness_.tombstones().Has(pod_key)) return;
+  harness_.tombstones().Gc(pod_key);
   // If the pod were somehow still live in the cache it would re-enter
   // the live count here. Defensive: on every current path the pod is
   // already removed or invalid-hidden by the time its tombstone is
@@ -178,17 +172,18 @@ void ReplicaSetController::OnDownstreamReady(
   }
   for (const std::string& key : changes.updated) EnqueueOwnerOf(key);
   // Fast-forward termination intents that survived the disconnect.
-  tombstones_.ReplicateAll(
-      [this](const std::string& key) { downstream_->SendTombstone(key); });
+  harness_.tombstones().ReplicateAll([this](const std::string& key) {
+    harness_.downstream()->SendTombstone(key);
+  });
   // Re-reconcile everything we manage (cheap: level-triggered dedup).
   for (const ApiObject* rs : rs_cache_.List(kKindReplicaSet)) {
-    loop_.Enqueue(rs->Key());
+    harness_.loop().Enqueue(rs->Key());
   }
 }
 
 std::string ReplicaSetController::NextPodName(const std::string& rs_name) {
   return StrFormat("%s-s%llu-p%llu", rs_name.c_str(),
-                   static_cast<unsigned long long>(session_),
+                   static_cast<unsigned long long>(harness_.session()),
                    static_cast<unsigned long long>(pod_counter_++));
 }
 
@@ -231,7 +226,7 @@ Duration ReplicaSetController::Reconcile(const std::string& rs_key) {
       for (const std::string& pod_key : idx->second) {
         const ApiObject* pod = pod_cache_.Get(pod_key);
         if (pod == nullptr) continue;  // stale after a handler-less Clear
-        if (tombstones_.Has(pod_key)) continue;
+        if (harness_.tombstones().Has(pod_key)) continue;
         if (model::IsTerminating(*pod)) continue;
         owned.push_back(pod);
       }
@@ -252,7 +247,7 @@ Duration ReplicaSetController::Reconcile(const std::string& rs_key) {
 void ReplicaSetController::CreatePods(const ApiObject& rs,
                                       std::int64_t count) {
   const std::string rs_key = rs.Key();
-  if (mode_ == Mode::kKd && (!downstream_ || !downstream_->ready())) {
+  if (mode_ == Mode::kKd && !harness_.link_ready()) {
     // The forward link is down or mid-handshake. Creating now would
     // produce pods invisible to the in-flight version comparison
     // (phantoms the handshake can never invalidate), so hold off:
@@ -271,19 +266,22 @@ void ReplicaSetController::CreatePods(const ApiObject& rs,
               ? kubedirect::FullObjectMessage(pod)
               : kubedirect::PodCreateMessage(pod, rs_key);
       pod_cache_.Upsert(std::move(pod));
-      downstream_->SendUpsert(msg);
+      harness_.downstream()->SendUpsert(msg);
       continue;
     }
     ++pending_creates_[rs_key];
-    api_.Create(std::move(pod), [this, rs_key](StatusOr<ApiObject> result) {
-      if (!result.ok()) {
-        // Failed create: release the expectation and re-reconcile.
-        auto it = pending_creates_.find(rs_key);
-        if (it != pending_creates_.end() && it->second > 0) --it->second;
-        if (!crashed_) loop_.EnqueueAfter(rs_key, Milliseconds(5));
-      }
-      // Success settles through the pod informer (Added event).
-    });
+    harness_.api().Create(
+        std::move(pod), [this, rs_key](StatusOr<ApiObject> result) {
+          if (!result.ok()) {
+            // Failed create: release the expectation and re-reconcile.
+            auto it = pending_creates_.find(rs_key);
+            if (it != pending_creates_.end() && it->second > 0) --it->second;
+            if (!harness_.crashed()) {
+              harness_.loop().EnqueueAfter(rs_key, Milliseconds(5));
+            }
+          }
+          // Success settles through the pod informer (Added event).
+        });
   }
 }
 
@@ -298,26 +296,27 @@ void ReplicaSetController::DeletePods(
       // victim leaves the live count the moment the intent is recorded
       // (victims are selected from the live set, so the guard only
       // protects against double-tombstoning).
-      if (!tombstones_.Has(pod_key)) {
-        tombstones_.Add(pod_key, env_.engine.now());
+      if (!harness_.tombstones().Has(pod_key)) {
+        harness_.tombstones().Add(pod_key, env_.engine.now());
         --live_owned_[rs.name];
       }
-      if (downstream_ && downstream_->ready()) {
-        downstream_->SendTombstone(pod_key);
+      if (harness_.link_ready()) {
+        harness_.downstream()->SendTombstone(pod_key);
       }
       continue;
     }
     ++pending_deletes_[rs_key];
-    api_.Delete(kKindPod, victim->name,
-                [this, rs_key](Status status) {
-                  if (!status.ok()) {
-                    auto it = pending_deletes_.find(rs_key);
-                    if (it != pending_deletes_.end() && it->second > 0) {
-                      --it->second;
-                    }
-                    if (!crashed_) loop_.EnqueueAfter(rs_key, Milliseconds(5));
-                  }
-                });
+    harness_.api().Delete(kKindPod, victim->name, [this, rs_key](Status status) {
+      if (!status.ok()) {
+        auto it = pending_deletes_.find(rs_key);
+        if (it != pending_deletes_.end() && it->second > 0) {
+          --it->second;
+        }
+        if (!harness_.crashed()) {
+          harness_.loop().EnqueueAfter(rs_key, Milliseconds(5));
+        }
+      }
+    });
   }
 }
 
@@ -326,38 +325,13 @@ std::size_t ReplicaSetController::OwnedPodCount(
   std::size_t n = 0;
   if (auto idx = owned_pods_.find(rs_name); idx != owned_pods_.end()) {
     for (const std::string& pod_key : idx->second) {
-      if (pod_cache_.Get(pod_key) != nullptr && !tombstones_.Has(pod_key)) {
+      if (pod_cache_.Get(pod_key) != nullptr &&
+          !harness_.tombstones().Has(pod_key)) {
         ++n;
       }
     }
   }
   return n;
 }
-
-void ReplicaSetController::Crash() {
-  crashed_ = true;
-  desired_.clear();
-  tombstones_.Clear();  // session-scoped (§4.3)
-  pending_creates_.clear();
-  pending_deletes_.clear();
-  rs_cache_.Clear();
-  pod_cache_.Clear();  // Clear() fires no handlers: reset the indexes too
-  owned_pods_.clear();
-  live_owned_.clear();
-  loop_.Clear();
-  informer_.Stop();
-  pod_informer_.Stop();
-  env_.network.CrashEndpoint(endpoint_.address());
-  if (downstream_) {
-    downstream_->Stop();
-    downstream_.reset();
-  }
-  if (upstream_) {
-    upstream_->Stop();
-    upstream_.reset();
-  }
-}
-
-void ReplicaSetController::Restart() { Start(); }
 
 }  // namespace kd::controllers

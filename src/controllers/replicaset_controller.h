@@ -22,37 +22,30 @@
 #pragma once
 
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
-#include "apiserver/client.h"
 #include "controllers/types.h"
-#include "kubedirect/hierarchy.h"
-#include "kubedirect/tombstone.h"
-#include "runtime/cache.h"
-#include "runtime/control_loop.h"
-#include "runtime/env.h"
-#include "runtime/informer.h"
+#include "runtime/harness.h"
 
 namespace kd::controllers {
 
 class ReplicaSetController {
  public:
   ReplicaSetController(runtime::Env& env, Mode mode);
-  ~ReplicaSetController();
 
-  void Start();
-  void Crash();
-  void Restart();
+  void Start() { harness_.Start(); }
+  void Crash() { harness_.Crash(); }
+  void Restart() { harness_.Restart(); }
 
-  bool link_ready() const;
+  bool link_ready() const { return harness_.link_ready(); }
 
   // Visible (non-tombstoned) pods owned by `rs_name` in this
   // controller's view (test observability).
   std::size_t OwnedPodCount(const std::string& rs_name) const;
   const runtime::ObjectCache& pod_cache() const { return pod_cache_; }
-  std::size_t tombstone_count() const { return tombstones_.size(); }
+  std::size_t tombstone_count() const { return harness_.tombstones().size(); }
 
  private:
   Duration Reconcile(const std::string& rs_name);
@@ -68,16 +61,12 @@ class ReplicaSetController {
 
   runtime::Env& env_;
   Mode mode_;
+  runtime::ControllerHarness harness_;
   runtime::ObjectCache rs_cache_;   // ReplicaSets (informer)
   runtime::ObjectCache pod_cache_;  // K8s: pod informer; Kd: ephemeral
-  apiserver::ApiClient api_;
-  runtime::Informer informer_;      // feeds rs_cache_
-  runtime::Informer pod_informer_;  // feeds pod_cache_ (K8s mode only)
-  runtime::ControlLoop loop_;
 
   // Kd: desired replicas per RS key, fed by the Deployment controller.
   std::map<std::string, std::int64_t> desired_;
-  kubedirect::TombstoneTracker tombstones_;
 
   // Owner index: RS name -> keys of visible owned pods, maintained in
   // lockstep with pod_cache_ by its change handler. Reconcile reads
@@ -98,16 +87,9 @@ class ReplicaSetController {
   std::map<std::string, std::int64_t> pending_creates_;
   std::map<std::string, std::int64_t> pending_deletes_;
 
-  // Pod naming: session epoch + counter keeps names unique across
-  // crash-restarts without persisted state.
-  std::uint64_t session_ = 0;
+  // Pod naming: the harness session epoch + this counter keeps names
+  // unique across crash-restarts without persisted state.
   std::uint64_t pod_counter_ = 0;
-
-  net::Endpoint endpoint_;
-  runtime::ObjectCache link_scratch_;
-  std::unique_ptr<kubedirect::HierarchyServer> upstream_;
-  std::unique_ptr<kubedirect::HierarchyClient> downstream_;
-  bool crashed_ = false;
 };
 
 }  // namespace kd::controllers

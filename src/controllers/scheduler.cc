@@ -17,13 +17,14 @@ Scheduler::Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options)
     : env_(env),
       mode_(mode),
       options_(options),
-      api_(env.engine, env.apiserver, "scheduler", env.cost.scheduler_qps,
-           env.cost.scheduler_burst, &env.metrics),
-      node_informer_(api_, env.apiserver, node_cache_),
-      pod_informer_(api_, env.apiserver, pod_cache_),
-      loop_(env.engine, env.cost, "scheduler", &env.metrics),
-      endpoint_(env.network, Addresses::Scheduler()) {
-  loop_.SetReconciler([this](const std::string& key) { return Reconcile(key); });
+      harness_(env, mode,
+               {.name = "scheduler",
+                .client_id = "scheduler",
+                .address = Addresses::Scheduler(),
+                .qps = env.cost.scheduler_qps,
+                .burst = env.cost.scheduler_burst}) {
+  harness_.SetReconciler(
+      [this](const std::string& key) { return Reconcile(key); });
 
   // Node discovery: capacity bookkeeping + (Kd) one link per Kubelet.
   node_cache_.AddChangeHandler([this](const std::string& key,
@@ -34,7 +35,9 @@ Scheduler::Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options)
     if (after == nullptr || after->kind != kKindNode) return;
     NodeState& state = nodes_[after->name];
     state.cpu_capacity = model::GetCpuMilli(*after);
-    if (mode_ == Mode::kKd && !crashed_) EnsureKubeletLink(after->name);
+    if (mode_ == Mode::kKd && !harness_.crashed()) {
+      EnsureKubeletLink(after->name);
+    }
   });
 
   // Incremental allocation tracking driven by every visible pod
@@ -56,51 +59,45 @@ Scheduler::Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options)
       // Unassigned pending pods need scheduling.
       if (model::GetNodeName(*after).empty() &&
           model::GetPodPhase(*after) == model::PodPhase::kPending) {
-        loop_.Enqueue(key);
+        harness_.loop().Enqueue(key);
       }
     }
   });
-}
 
-Scheduler::~Scheduler() {
-  for (auto& [name, state] : nodes_) {
-    if (state.client) state.client->Stop();
-  }
-  if (upstream_) upstream_->Stop();
-}
-
-void Scheduler::Start() {
-  crashed_ = false;
-  upstream_started_ = false;
-  nodes_synced_ = false;
-  node_informer_.Start(kKindNode, [this] {
-    nodes_synced_ = true;
-    if (mode_ != Mode::kKd) return;
-    for (const ApiObject* node : node_cache_.List(kKindNode)) {
-      EnsureKubeletLink(node->name);
-    }
-    MaybeStartUpstream();
-  });
-  if (mode_ == Mode::kK8s) {
-    pod_informer_.Start(kKindPod);
-    return;
-  }
+  // The Node informer completing its initial List is the §4.2
+  // "baseline synced" signal: the downstream set is fully known.
+  harness_.SyncKind(node_cache_, kKindNode,
+                    runtime::ControllerHarness::When::kBoth, [this] {
+                      harness_.SetBaselineSynced(true);
+                      if (mode_ != Mode::kKd) return;
+                      for (const ApiObject* node :
+                           node_cache_.List(kKindNode)) {
+                        EnsureKubeletLink(node->name);
+                      }
+                      harness_.MaybeStartUpstream();
+                    });
+  harness_.SyncKind(pod_cache_, kKindPod,
+                    runtime::ControllerHarness::When::kK8sOnly);
   // Kd mode: ReplicaSets are cached alongside pods so that incoming
   // pointer-compressed pod messages can be materialized (§3.2); the
   // handshake kind filter keeps them out of the pod state exchange.
-  pod_informer_.Start(kKindReplicaSet);
+  harness_.SyncKind(pod_cache_, kKindReplicaSet,
+                    runtime::ControllerHarness::When::kKdOnly);
 
-  kubedirect::HierarchyServer::Callbacks server_callbacks;
-  server_callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
+  runtime::ControllerHarness::UpstreamSpec upstream;
+  upstream.cache = &pod_cache_;
+  upstream.kind_filter = kKindPod;
+  upstream.downstream_first = true;
+  upstream.callbacks.on_upsert = [this](const kubedirect::KdMessage& msg) {
     OnPodMessage(msg);
   };
-  server_callbacks.on_tombstone = [this](const std::string& key) {
+  upstream.callbacks.on_tombstone = [this](const std::string& key) {
     OnTombstone(key);
   };
-  server_callbacks.on_ack = [this](const std::string& key) {
+  upstream.callbacks.on_ack = [this](const std::string& key) {
     pod_cache_.DropInvalid(key);
   };
-  server_callbacks.on_upstream_connected = [this] {
+  upstream.callbacks.on_upstream_connected = [this] {
     // Hard invalidation supersedes pending soft invalidations: the new
     // upstream just learned our full visible state, so invalid-marked
     // leftovers can go.
@@ -108,44 +105,41 @@ void Scheduler::Start() {
       pod_cache_.DropInvalid(key);
     }
   };
-  upstream_ = std::make_unique<kubedirect::HierarchyServer>(
-      env_.engine, env_.cost, endpoint_, pod_cache_,
-      /*kind_filter=*/kKindPod, std::move(server_callbacks), &env_.metrics);
-  MaybeStartUpstream();
-}
+  harness_.ServeUpstream(std::move(upstream));
 
-bool Scheduler::DownstreamSettled() const {
-  if (!nodes_synced_) return false;
-  for (const auto& [name, state] : nodes_) {
-    if (state.cancelled) continue;
-    if (!state.client || !state.client->ready()) return false;
-  }
-  return true;
-}
-
-void Scheduler::MaybeStartUpstream() {
-  if (upstream_started_ || !upstream_ || crashed_) return;
-  if (!DownstreamSettled()) return;
-  upstream_started_ = true;
-  upstream_->Start();
+  harness_.OnCrash([this] {
+    materializing_.clear();
+    for (auto& [key, done] : pending_preemptions_) {
+      done(UnavailableError("scheduler crashed"));
+    }
+    pending_preemptions_.clear();
+    nodes_.clear();
+  });
 }
 
 void Scheduler::EnsureKubeletLink(const std::string& node_name) {
-  NodeState& state = nodes_[node_name];
-  if (state.client) return;
-  kubedirect::HierarchyClient::Callbacks callbacks;
-  callbacks.on_ready = [this, node_name](const kubedirect::ChangeSet& c) {
+  nodes_[node_name];  // capacity entry exists even before the link
+  runtime::ControllerHarness::DownstreamSpec spec;
+  spec.peer = Addresses::Kubelet(node_name);
+  spec.cache = &pod_cache_;
+  spec.kind_filter = kKindPod;
+  spec.scope = [node_name](const ApiObject& obj) {
+    return model::GetNodeName(obj) == node_name;
+  };
+  spec.callbacks.on_ready = [this,
+                             node_name](const kubedirect::ChangeSet& c) {
     OnKubeletReady(node_name, c);
   };
-  callbacks.on_remove = [this, node_name](const std::string& key) {
+  spec.callbacks.on_remove = [this, node_name](const std::string& key) {
     OnKubeletRemove(node_name, key);
   };
-  callbacks.on_soft_invalidate = [this](const kubedirect::KdMessage& delta) {
-    // Relay the Kubelet's progress (Running phase, pod IP) further
-    // upstream so the whole chain converges on one representation.
-    if (upstream_) upstream_->SendSoftInvalidate(delta);
-  };
-  callbacks.on_connect_failed = [this, node_name] {
+  spec.callbacks.on_soft_invalidate =
+      [this](const kubedirect::KdMessage& delta) {
+        // Relay the Kubelet's progress (Running phase, pod IP) further
+        // upstream so the whole chain converges on one representation.
+        if (harness_.upstream()) harness_.upstream()->SendSoftInvalidate(delta);
+      };
+  spec.callbacks.on_connect_failed = [this, node_name] {
     NodeState& s = nodes_[node_name];
     ++s.consecutive_failures;
     if (options_.cancel_after_failures > 0 && !s.cancelled &&
@@ -153,20 +147,7 @@ void Scheduler::EnsureKubeletLink(const std::string& node_name) {
       CancelNode(node_name);
     }
   };
-  state.client = std::make_unique<kubedirect::HierarchyClient>(
-      env_.engine, env_.cost, endpoint_, Addresses::Kubelet(node_name),
-      pod_cache_, /*kind_filter=*/kKindPod,
-      [node_name](const ApiObject& obj) {
-        return model::GetNodeName(obj) == node_name;
-      },
-      std::move(callbacks), &env_.metrics);
-  state.client->Start();
-}
-
-bool Scheduler::KubeletLinkReady(const std::string& node_name) const {
-  auto it = nodes_.find(node_name);
-  return it != nodes_.end() && it->second.client != nullptr &&
-         it->second.client->ready();
+  harness_.EnsureDownstream(node_name, std::move(spec));
 }
 
 std::int64_t Scheduler::AllocatedCpuOn(const std::string& node_name) const {
@@ -182,7 +163,7 @@ void Scheduler::OnPodMessage(const kubedirect::KdMessage& msg) {
     // delivered the parent. Retry shortly.
     const kubedirect::KdMessage retry = msg;
     env_.engine.ScheduleAfter(Milliseconds(5), [this, retry] {
-      if (!crashed_) OnPodMessage(retry);
+      if (!harness_.crashed()) OnPodMessage(retry);
     });
     return;
   }
@@ -190,15 +171,15 @@ void Scheduler::OnPodMessage(const kubedirect::KdMessage& msg) {
   env_.engine.ScheduleAfter(env_.cost.kd_materialize, [this,
                                                        pod = std::move(*pod)]()
                                                           mutable {
-    if (crashed_) return;
+    if (harness_.crashed()) return;
     const std::string key = pod.Key();
     materializing_.erase(key);
-    const bool condemned = tombstones_.Has(key);
+    const bool condemned = harness_.tombstones().Has(key);
     pod_cache_.Upsert(std::move(pod));
     if (condemned) {
       // Condemned before it materialized: execute the termination now
       // that the pod exists locally (§4.3).
-      tombstones_.Gc(key);
+      harness_.tombstones().Gc(key);
       OnTombstone(key);
     }
   });
@@ -211,7 +192,7 @@ void Scheduler::OnTombstone(const std::string& pod_key) {
       // The pod's Upsert is mid-materialization (same-link FIFO keeps
       // upsert before tombstone): record the intent; the apply step
       // executes it.
-      tombstones_.Add(pod_key, env_.engine.now());
+      harness_.tombstones().Add(pod_key, env_.engine.now());
       return;
     }
     // Unknown pod: its forward message was dropped in flight and can
@@ -228,10 +209,10 @@ void Scheduler::OnTombstone(const std::string& pod_key) {
     ForwardRemoveUpstream(pod_key);
     return;
   }
-  tombstones_.Add(pod_key, env_.engine.now());
-  NodeState& state = nodes_[node];
-  if (state.client && state.client->ready()) {
-    state.client->SendTombstone(pod_key);
+  harness_.tombstones().Add(pod_key, env_.engine.now());
+  kubedirect::HierarchyClient* client = harness_.downstream(node);
+  if (client != nullptr && client->ready()) {
+    client->SendTombstone(pod_key);
   }
 }
 
@@ -239,33 +220,35 @@ void Scheduler::OnKubeletRemove(const std::string& node_name,
                                 const std::string& pod_key) {
   pod_cache_.Remove(pod_key);  // allocation freed by the change handler
   pod_cache_.DropInvalid(pod_key);
-  tombstones_.Gc(pod_key);
+  harness_.tombstones().Gc(pod_key);
   ForwardRemoveUpstream(pod_key);
-  NodeState& state = nodes_[node_name];
-  if (state.client) state.client->SendAck(pod_key);
+  kubedirect::HierarchyClient* client = harness_.downstream(node_name);
+  if (client != nullptr) client->SendAck(pod_key);
   ResolvePreemption(pod_key, OkStatus());
 }
 
 void Scheduler::OnKubeletReady(const std::string& node_name,
                                const kubedirect::ChangeSet& changes) {
+  // The harness already re-evaluated the §4.2 gate for this link.
   NodeState& state = nodes_[node_name];
   state.consecutive_failures = 0;
-  MaybeStartUpstream();
   if (state.cancelled) {
     // The node is reachable again: lift the invalid mark.
     state.cancelled = false;
+    harness_.SetDownstreamExempt(node_name, false);
     if (const ApiObject* node = node_cache_.Get(
             ApiObject::MakeKey(kKindNode, node_name))) {
       ApiObject updated = *node;
       model::SetNodeInvalid(updated, false);
-      api_.Update(std::move(updated), [](StatusOr<ApiObject>) {});
+      harness_.api().Update(std::move(updated), [](StatusOr<ApiObject>) {});
     }
   }
   // Objects the Kubelet knows better than us: tell the upstream.
   for (const std::string& key : changes.updated) {
     if (const ApiObject* pod = pod_cache_.Get(key)) {
-      if (upstream_) {
-        upstream_->SendSoftInvalidate(kubedirect::FullObjectMessage(*pod));
+      if (harness_.upstream()) {
+        harness_.upstream()->SendSoftInvalidate(
+            kubedirect::FullObjectMessage(*pod));
       }
     }
   }
@@ -273,21 +256,22 @@ void Scheduler::OnKubeletReady(const std::string& node_name,
   // stay hidden until the upstream acks (or the next hard handshake).
   // Any termination intent for them is settled — the pod is gone.
   for (const std::string& key : changes.invalidated) {
-    tombstones_.Gc(key);
+    harness_.tombstones().Gc(key);
     ForwardRemoveUpstream(key);
   }
   // Fast-forward termination intents for this node (§4.3).
-  tombstones_.ReplicateAll([this, &node_name,
-                            &state](const std::string& key) {
+  harness_.tombstones().ReplicateAll([this,
+                                      &node_name](const std::string& key) {
     const ApiObject* pod = pod_cache_.Get(key);
     if (pod != nullptr && model::GetNodeName(*pod) == node_name) {
-      state.client->SendTombstone(key);
+      harness_.downstream(node_name)->SendTombstone(key);
     }
   });
 }
 
 void Scheduler::ForwardRemoveUpstream(const std::string& pod_key) {
-  if (upstream_ == nullptr || !upstream_->SendRemove(pod_key)) {
+  kubedirect::HierarchyServer* upstream = harness_.upstream();
+  if (upstream == nullptr || !upstream->SendRemove(pod_key)) {
     // No upstream connected: the next handshake carries the removal
     // implicitly (the pod is hidden from our version map); drop the
     // invalid-marked entry now.
@@ -315,9 +299,7 @@ std::string Scheduler::PickNode(const ApiObject& pod, Duration& scan_cost) {
     // handshake — the binding would be invisible to the in-flight
     // version comparison and the pod would strand until the next
     // failure. (K8s mode has no links; bindings go via the API.)
-    if (mode_ == Mode::kKd && (!state.client || !state.client->ready())) {
-      continue;
-    }
+    if (mode_ == Mode::kKd && !harness_.DownstreamReady(name)) continue;
     if (state.cpu_allocated + cpu > state.cpu_capacity) continue;
     if (best == nullptr || state.cpu_allocated < best->cpu_allocated) {
       best = &state;
@@ -332,7 +314,7 @@ Duration Scheduler::Reconcile(const std::string& pod_key) {
   if (pod == nullptr) return 0;
   if (!model::GetNodeName(*pod).empty()) return 0;  // already bound
   if (model::IsTerminating(*pod)) return 0;
-  if (tombstones_.Has(pod_key)) return 0;
+  if (harness_.tombstones().Has(pod_key)) return 0;
 
   env_.metrics.MarkStart("scheduler", env_.engine.now());
   Duration scan_cost = 0;
@@ -340,7 +322,7 @@ Duration Scheduler::Reconcile(const std::string& pod_key) {
   const Duration cost = scan_cost + env_.cost.scheduler_per_pod;
   if (node.empty()) {
     // No feasible node: retry under the assumption capacity frees up.
-    loop_.EnqueueAfter(pod_key, Milliseconds(100));
+    harness_.loop().EnqueueAfter(pod_key, Milliseconds(100));
     return cost;
   }
 
@@ -350,8 +332,8 @@ Duration Scheduler::Reconcile(const std::string& pod_key) {
     const std::string rs_key =
         ApiObject::MakeKey(kKindReplicaSet, model::GetOwnerName(bound));
     pod_cache_.Upsert(bound);  // egress fills the local cache first
-    NodeState& state = nodes_[node];
-    if (state.client && state.client->ready()) {
+    kubedirect::HierarchyClient* client = harness_.downstream(node);
+    if (client != nullptr && client->ready()) {
       // Forward the pod + binding to the Kubelet (pointer-compressed,
       // or full-object under the Fig. 14 ablation).
       kubedirect::KdMessage msg;
@@ -361,14 +343,14 @@ Duration Scheduler::Reconcile(const std::string& pod_key) {
         msg = kubedirect::PodCreateMessage(bound, rs_key);
         msg.attrs.emplace("spec.nodeName", kubedirect::KdValue::Literal(node));
       }
-      state.client->SendUpsert(msg);
+      client->SendUpsert(msg);
     }
     // Soft-invalidate the upstream with the binding (§4.2).
-    if (upstream_) {
+    if (harness_.upstream()) {
       kubedirect::KdMessage delta;
       delta.obj_key = pod_key;
       delta.attrs.emplace("spec.nodeName", kubedirect::KdValue::Literal(node));
-      upstream_->SendSoftInvalidate(delta);
+      harness_.upstream()->SendSoftInvalidate(delta);
     }
     env_.metrics.MarkStop("scheduler", env_.engine.now() + cost);
     return cost;
@@ -378,11 +360,11 @@ Duration Scheduler::Reconcile(const std::string& pod_key) {
   ApiObject bound = *pod;
   model::SetNodeName(bound, node);
   pod_cache_.Upsert(bound);  // optimistic local bind (allocation tracked)
-  api_.Update(bound, [this, pod_key](StatusOr<ApiObject> result) {
+  harness_.api().Update(bound, [this, pod_key](StatusOr<ApiObject> result) {
     env_.metrics.MarkStop("scheduler", env_.engine.now());
-    if (!result.ok() && !crashed_) {
+    if (!result.ok() && !harness_.crashed()) {
       // Conflict: the informer will refresh the pod; retry.
-      loop_.EnqueueAfter(pod_key, Milliseconds(5));
+      harness_.loop().EnqueueAfter(pod_key, Milliseconds(5));
     }
   });
   return cost;
@@ -396,8 +378,8 @@ void Scheduler::Preempt(const std::string& pod_key,
       done(NotFoundError(pod_key));
       return;
     }
-    api_.Delete(kKindPod, pod->name,
-                [done = std::move(done)](Status s) { done(s); });
+    harness_.api().Delete(kKindPod, pod->name,
+                          [done = std::move(done)](Status s) { done(s); });
     return;
   }
   const ApiObject* pod = pod_cache_.Get(pod_key);
@@ -413,29 +395,31 @@ void Scheduler::Preempt(const std::string& pod_key,
     done(OkStatus());
     return;
   }
-  NodeState& state = nodes_[node];
-  if (!state.client || !state.client->ready()) {
+  kubedirect::HierarchyClient* client = harness_.downstream(node);
+  if (client == nullptr || !client->ready()) {
     done(UnavailableError("kubelet link down for " + node));
     return;
   }
-  tombstones_.Add(pod_key, env_.engine.now());
+  harness_.tombstones().Add(pod_key, env_.engine.now());
   pending_preemptions_[pod_key] = std::move(done);
   // Synchronous termination: immediate flush; the Kubelet's Remove
   // signal resolves the preemption (§4.3, §6.3).
-  state.client->SendTombstoneNow(pod_key);
+  client->SendTombstoneNow(pod_key);
 }
 
 void Scheduler::CancelNode(const std::string& node_name) {
   NodeState& state = nodes_[node_name];
   if (state.cancelled) return;
   state.cancelled = true;
+  // An unreachable node no longer blocks the downstream-first gate.
+  harness_.SetDownstreamExempt(node_name, true);
   // Mark the Node invalid through the API server: the Kubelet drains
   // all KubeDirect pods when it observes the mark (§4.3).
   if (const ApiObject* node =
           node_cache_.Get(ApiObject::MakeKey(kKindNode, node_name))) {
     ApiObject updated = *node;
     model::SetNodeInvalid(updated, true);
-    api_.Update(std::move(updated), [](StatusOr<ApiObject>) {});
+    harness_.api().Update(std::move(updated), [](StatusOr<ApiObject>) {});
   }
   // Assume the node's pods irreversibly terminated; invalidate upstream.
   std::vector<std::string> doomed;
@@ -444,39 +428,12 @@ void Scheduler::CancelNode(const std::string& node_name) {
   }
   for (const std::string& key : doomed) {
     pod_cache_.Remove(key);
-    tombstones_.Gc(key);
+    harness_.tombstones().Gc(key);
     ForwardRemoveUpstream(key);
     ResolvePreemption(key, OkStatus());
   }
   env_.metrics.Count("nodes_cancelled");
-  // An unreachable node no longer blocks the downstream-first gate.
-  MaybeStartUpstream();
+  harness_.MaybeStartUpstream();
 }
-
-void Scheduler::Crash() {
-  crashed_ = true;
-  tombstones_.Clear();
-  materializing_.clear();
-  for (auto& [key, done] : pending_preemptions_) {
-    done(UnavailableError("scheduler crashed"));
-  }
-  pending_preemptions_.clear();
-  node_cache_.Clear();
-  pod_cache_.Clear();
-  loop_.Clear();
-  node_informer_.Stop();
-  pod_informer_.Stop();
-  env_.network.CrashEndpoint(endpoint_.address());
-  for (auto& [name, state] : nodes_) {
-    if (state.client) state.client->Stop();
-  }
-  nodes_.clear();
-  if (upstream_) {
-    upstream_->Stop();
-    upstream_.reset();
-  }
-}
-
-void Scheduler::Restart() { Start(); }
 
 }  // namespace kd::controllers

@@ -3,7 +3,8 @@
 // Assigns Pending pods to nodes with a least-allocated-CPU policy whose
 // cost grows linearly with the node count (the Fig. 11 M-scalability
 // effect). Sits mid-chain in the hierarchical cache: server towards the
-// ReplicaSet controller, one client per Kubelet.
+// ReplicaSet controller, one client per Kubelet (the harness's dynamic
+// downstream fan-out).
 //
 // Termination duties (§4.3):
 //   - forwards Tombstones towards the owning Kubelet (async downscale);
@@ -12,24 +13,18 @@
 //     Kubelet's invalidation signal returns;
 //   - cancellation: when a Kubelet is unreachable, marks its Node
 //     invalid through the API server, assumes its pods terminated, and
-//     invalidates them upstream.
+//     invalidates them upstream. Cancelled nodes are exempt from the
+//     harness's §4.2 downstream-first gate.
 #pragma once
 
 #include <functional>
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
-#include "apiserver/client.h"
 #include "controllers/types.h"
-#include "kubedirect/hierarchy.h"
-#include "kubedirect/tombstone.h"
-#include "runtime/cache.h"
-#include "runtime/control_loop.h"
-#include "runtime/env.h"
-#include "runtime/informer.h"
+#include "runtime/harness.h"
 
 namespace kd::controllers {
 
@@ -42,11 +37,10 @@ struct SchedulerOptions {
 class Scheduler {
  public:
   Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options = {});
-  ~Scheduler();
 
-  void Start();
-  void Crash();
-  void Restart();
+  void Start() { harness_.Start(); }
+  void Crash() { harness_.Crash(); }
+  void Restart() { harness_.Restart(); }
 
   // Synchronous termination (§4.3): terminates `pod_key` and invokes
   // `done` only after the owning Kubelet's invalidation signal arrives
@@ -60,12 +54,13 @@ class Scheduler {
   // Observability.
   std::int64_t AllocatedCpuOn(const std::string& node_name) const;
   const runtime::ObjectCache& pod_cache() const { return pod_cache_; }
-  bool KubeletLinkReady(const std::string& node_name) const;
-  std::size_t tombstone_count() const { return tombstones_.size(); }
+  bool KubeletLinkReady(const std::string& node_name) const {
+    return harness_.DownstreamReady(node_name);
+  }
+  std::size_t tombstone_count() const { return harness_.tombstones().size(); }
 
  private:
   struct NodeState {
-    std::unique_ptr<kubedirect::HierarchyClient> client;
     std::int64_t cpu_capacity = 0;
     std::int64_t cpu_allocated = 0;
     int consecutive_failures = 0;
@@ -83,40 +78,23 @@ class Scheduler {
   void OnKubeletReady(const std::string& node_name,
                       const kubedirect::ChangeSet& changes);
   void ForwardRemoveUpstream(const std::string& pod_key);
-  bool DownstreamSettled() const;
-  void MaybeStartUpstream();
-  void RecomputeAllocations();
-  void FreeAllocation(const model::ApiObject& pod);
-  void Allocate(const model::ApiObject& pod, const std::string& node);
   void ResolvePreemption(const std::string& pod_key, Status status);
 
   runtime::Env& env_;
   Mode mode_;
   SchedulerOptions options_;
+  runtime::ControllerHarness harness_;
   runtime::ObjectCache node_cache_;  // Nodes (informer)
   runtime::ObjectCache pod_cache_;   // K8s: informer; Kd: ephemeral
-  apiserver::ApiClient api_;
-  runtime::Informer node_informer_;
-  runtime::Informer pod_informer_;  // K8s mode only
-  runtime::ControlLoop loop_;
 
+  // Per-node scheduling state (capacity, allocation, cancellation).
+  // The per-Kubelet HierarchyClients live in the harness fan-out.
   std::map<std::string, NodeState> nodes_;
-  kubedirect::TombstoneTracker tombstones_;
   // Pods whose Upsert is between arrival and cache insertion (the
   // kd_materialize window); tombstones for them are deferred, not
   // answered as unknown.
   std::set<std::string> materializing_;
   std::map<std::string, std::function<void(Status)>> pending_preemptions_;
-
-  net::Endpoint endpoint_;
-  std::unique_ptr<kubedirect::HierarchyServer> upstream_;
-  // Downstream-first recovery (§4.2): the upstream-facing server only
-  // starts once every Kubelet link is ready or its node cancelled, so
-  // the handshake the ReplicaSet controller runs against us reflects
-  // the recovered source of truth, not a half-empty cache.
-  bool upstream_started_ = false;
-  bool nodes_synced_ = false;
-  bool crashed_ = false;
 };
 
 }  // namespace kd::controllers

@@ -4,19 +4,14 @@
 
 #include <string>
 
+#include "runtime/mode.h"
+
 namespace kd::controllers {
 
-// How a controller exchanges state with its neighbours:
-//   kK8s — stock Kubernetes: all state flows through the API server
-//          (write-notify indirection, rate limits, etcd persistence);
-//   kKd  — KubeDirect: direct message passing over pairwise links,
-//          API server used only where the paper's prototype keeps it
-//          (pod publication by the Kubelet, node-invalid marks).
-enum class Mode { kK8s, kKd };
-
-inline const char* ModeName(Mode mode) {
-  return mode == Mode::kK8s ? "K8s" : "Kd";
-}
+// Mode moved to runtime/mode.h so the ControllerHarness can switch on
+// it; aliased here to keep controller-layer call sites unchanged.
+using runtime::Mode;
+using runtime::ModeName;
 
 // Endpoint addresses of the narrow-waist controllers on the simulated
 // network (Kd links connect upstream -> downstream).
@@ -29,6 +24,7 @@ struct Addresses {
     return "kd.kubelet." + node;
   }
   static std::string EndpointsController() { return "kd.endpoints"; }
+  static std::string KubeProxy() { return "kd.kubeproxy"; }
   static std::string Gateway() { return "kd.gateway"; }
 };
 

@@ -1,29 +1,16 @@
 #include "faas/backend.h"
 
 #include "common/strings.h"
-#include "model/objects.h"
 
 namespace kd::faas {
-
-using model::ApiObject;
-using model::kKindPod;
 
 // --- ClusterBackend ----------------------------------------------------
 
 ClusterBackend::ClusterBackend(cluster::Cluster& cluster)
-    : cluster_(cluster),
-      limiter_(cluster.engine(), cluster.config().cost.controller_qps,
-               cluster.config().cost.controller_burst) {
-  watch_ = cluster_.apiserver().Watch(
-      kKindPod,
-      [this](const apiserver::WatchEvent& event) { OnPodEvent(event); });
-}
-
-ClusterBackend::~ClusterBackend() { cluster_.apiserver().Unwatch(watch_); }
+    : cluster_(cluster) {}
 
 void ClusterBackend::RegisterFunction(const FunctionSpec& spec) {
   cluster_.RegisterFunction(spec.name, spec.cpu_milli, spec.memory_mb);
-  endpoints_[spec.name];
 }
 
 void ClusterBackend::ScaleTo(const std::string& function, std::int64_t n) {
@@ -31,70 +18,7 @@ void ClusterBackend::ScaleTo(const std::string& function, std::int64_t n) {
 }
 
 void ClusterBackend::SetEndpointSink(EndpointSink sink) {
-  sink_ = std::move(sink);
-}
-
-void ClusterBackend::OnPodEvent(const apiserver::WatchEvent& event) {
-  const ApiObject& pod = event.object;
-  const std::string function = model::GetLabel(pod, "app");
-  if (function.empty() || endpoints_.count(function) == 0) return;
-  std::set<std::string>& addresses = endpoints_[function];
-  bool changed = false;
-  switch (event.type) {
-    case apiserver::WatchEventType::kAdded:
-    case apiserver::WatchEventType::kModified:
-      if (model::GetPodPhase(pod) == model::PodPhase::kRunning &&
-          !model::GetPodIp(pod).empty()) {
-        changed = addresses.insert(model::GetPodIp(pod)).second;
-        if (changed) pod_to_function_[pod.Key()] = function;
-      } else if (model::IsTerminating(pod)) {
-        changed = addresses.erase(model::GetPodIp(pod)) > 0;
-      }
-      break;
-    case apiserver::WatchEventType::kDeleted:
-      changed = addresses.erase(model::GetPodIp(pod)) > 0;
-      pod_to_function_.erase(pod.Key());
-      break;
-  }
-  if (changed) MarkDirty(function);
-}
-
-void ClusterBackend::MarkDirty(const std::string& function) {
-  if (!dirty_.insert(function).second) return;  // publish already pending
-  const CostModel& cost = cluster_.config().cost;
-  if (cluster_.config().mode == controllers::Mode::kKd) {
-    // Direct streaming (§5): sub-millisecond, no API write.
-    cluster_.engine().ScheduleAfter(cost.kd_endpoint_stream_latency,
-                                    [this, function] {
-                                      PublishEndpoints(function);
-                                    });
-    return;
-  }
-  // K8s path: batch pod changes for one Endpoints object write, pay the
-  // controller rate limit plus the API round trip + watch delivery.
-  cluster_.engine().ScheduleAfter(
-      cost.endpoints_batch_window, [this, function, &cost] {
-        limiter_.Acquire([this, function, &cost] {
-          // One Endpoints update: client+server serialization, etcd
-          // persist, watch to the data plane. Approximated with the
-          // API-call constants rather than a full object round trip.
-          const Duration api_call = cost.api_network_latency * 2 +
-                                    cost.api_processing +
-                                    cost.etcd_persist_latency +
-                                    cost.watch_delivery_latency;
-          cluster_.engine().ScheduleAfter(api_call, [this, function] {
-            PublishEndpoints(function);
-          });
-        });
-      });
-}
-
-void ClusterBackend::PublishEndpoints(const std::string& function) {
-  dirty_.erase(function);
-  if (!sink_) return;
-  const std::set<std::string>& addresses = endpoints_[function];
-  sink_(function,
-        std::vector<std::string>(addresses.begin(), addresses.end()));
+  cluster_.kube_proxy().SetSink(std::move(sink));
 }
 
 // --- DirigentBackend ---------------------------------------------------

@@ -1,13 +1,11 @@
 // Backend implementations for the Fig. 8b baseline matrix.
 //
 // ClusterBackend drives the Kubernetes/KubeDirect narrow waist
-// (Cluster); its endpoint discovery models §5's Pod-discovery path:
-//   K8s  — the Endpoints controller watches Pods, batches changes and
-//          publishes an Endpoints object through the (rate-limited)
-//          API server; kube-proxies/gateways learn via watch;
-//   Kd   — the optimized Endpoints controller streams endpoints
-//          directly to the data plane (read-only transformation, no
-//          state-management machinery needed).
+// (Cluster). Endpoint discovery is the cluster's real §5 leg: the
+// Endpoints controller tracks Services and ready Pods and either
+// writes Endpoints objects through the rate-limited API server (K8s)
+// or streams address lists straight to the KubeProxy (Kd); the
+// KubeProxy's sink is the EndpointSink the Gateway routes with.
 //
 // DirigentBackend is the clean-slate comparator: a centralized
 // in-memory control plane talking straight to lean sandbox managers —
@@ -19,7 +17,6 @@
 #include <set>
 #include <string>
 
-#include "apiserver/rate_limiter.h"
 #include "cluster/cluster.h"
 #include "faas/types.h"
 
@@ -28,26 +25,13 @@ namespace kd::faas {
 class ClusterBackend : public Backend {
  public:
   explicit ClusterBackend(cluster::Cluster& cluster);
-  ~ClusterBackend() override;
 
   void RegisterFunction(const FunctionSpec& spec) override;
   void ScaleTo(const std::string& function, std::int64_t n) override;
   void SetEndpointSink(EndpointSink sink) override;
 
  private:
-  void OnPodEvent(const apiserver::WatchEvent& event);
-  void PublishEndpoints(const std::string& function);
-  void MarkDirty(const std::string& function);
-
   cluster::Cluster& cluster_;
-  EndpointSink sink_;
-  apiserver::WatchId watch_ = 0;
-  // function -> address set (current ready endpoints).
-  std::map<std::string, std::set<std::string>> endpoints_;
-  std::map<std::string, std::string> pod_to_function_;
-  std::set<std::string> dirty_;  // functions with a pending publish
-  // K8s path: Endpoints API writes share the controller rate limit.
-  apiserver::TokenBucket limiter_;
 };
 
 // The clean-slate Dirigent control plane: centralized scheduler state,

@@ -104,11 +104,11 @@ void HierarchyClient::OnDisconnect() {
 }
 
 void HierarchyClient::HandleStateVersions(const WireMessage& msg) {
-  // Scoped view of our cache.
+  // Scoped view of our cache (single pass, no object copies).
   std::map<std::string, std::uint64_t> mine;
-  for (const model::ApiObject& obj : cache_.Snapshot()) {
-    if (InScope(obj)) mine[obj.Key()] = obj.ContentHash();
-  }
+  cache_.ForEachVisible([&](const model::ApiObject& obj) {
+    if (InScope(obj)) mine.emplace_hint(mine.end(), obj.Key(), obj.ContentHash());
+  });
 
   std::vector<std::string> to_fetch;
   if (mine.empty()) {
@@ -276,10 +276,11 @@ void HierarchyServer::OnAccept(net::ConnHandlePtr conn) {
   // version map (round one of the two-round optimization).
   WireMessage versions;
   versions.type = WireMessage::Type::kStateVersions;
-  for (const model::ApiObject& obj : cache_.Snapshot()) {
-    if (!kind_filter_.empty() && obj.kind != kind_filter_) continue;
-    versions.versions[obj.Key()] = obj.ContentHash();
-  }
+  cache_.ForEachVisible([&](const model::ApiObject& obj) {
+    if (!kind_filter_.empty() && obj.kind != kind_filter_) return;
+    versions.versions.emplace_hint(versions.versions.end(), obj.Key(),
+                                   obj.ContentHash());
+  });
   link_->SendNow(std::move(versions));
   if (callbacks_.on_upstream_connected) callbacks_.on_upstream_connected();
 }

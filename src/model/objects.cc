@@ -394,10 +394,39 @@ ApiObject MakeEndpoints(const std::string& service_name,
   ApiObject obj;
   obj.kind = kKindEndpoints;
   obj.name = service_name;
+  SetEndpointsAddresses(obj, addresses);
+  return obj;
+}
+
+void SetEndpointsAddresses(ApiObject& endpoints,
+                           const std::vector<std::string>& addresses) {
   Value addrs = Value::MakeArray();
   for (const auto& a : addresses) addrs.push_back(a);
-  obj.spec["addresses"] = std::move(addrs);
+  endpoints.spec["addresses"] = std::move(addrs);
+}
+
+std::vector<std::string> GetEndpointsAddresses(const ApiObject& endpoints) {
+  std::vector<std::string> out;
+  const Value* addrs = endpoints.spec.FindPath("addresses");
+  if (addrs == nullptr || !addrs->is_array()) return out;
+  out.reserve(addrs->size());
+  for (std::size_t i = 0; i < addrs->size(); ++i) {
+    out.push_back(addrs->at(i).as_string());
+  }
+  return out;
+}
+
+ApiObject MakeService(const std::string& name) {
+  ApiObject obj;
+  obj.kind = kKindService;
+  obj.name = name;
+  obj.spec["selector"]["app"] = name;
   return obj;
+}
+
+std::string GetServiceSelector(const ApiObject& service) {
+  const Value* app = service.spec.FindPath("selector.app");
+  return app != nullptr && app->is_string() ? app->as_string() : "";
 }
 
 }  // namespace kd::model

@@ -148,5 +148,12 @@ ApiObject MakeNode(const std::string& name, std::int64_t cpu_milli,
                    std::int64_t memory_mb);
 ApiObject MakeEndpoints(const std::string& service_name,
                         const std::vector<std::string>& addresses);
+void SetEndpointsAddresses(ApiObject& endpoints,
+                           const std::vector<std::string>& addresses);
+std::vector<std::string> GetEndpointsAddresses(const ApiObject& endpoints);
+// A Service selecting pods labelled app=<name> (one Service per FaaS
+// function; the name doubles as the selector).
+ApiObject MakeService(const std::string& name);
+std::string GetServiceSelector(const ApiObject& service);
 
 }  // namespace kd::model

@@ -67,6 +67,11 @@ class ObjectCache {
   std::vector<model::ApiObject> Snapshot() const;
   // key -> content hash of visible objects (handshake round one).
   std::map<std::string, std::uint64_t> VersionMap() const;
+  // Single-pass visitor over visible objects in key order — the
+  // handshake hot path uses this to avoid copying every object the
+  // way Snapshot() does.
+  void ForEachVisible(
+      const std::function<void(const model::ApiObject&)>& fn) const;
 
   std::size_t size() const;  // visible entries
 

@@ -12,6 +12,13 @@ void ControlLoop::Enqueue(const std::string& key) {
   tracker_.Inc(engine_.now());
   queued_keys_.insert(key);
   queue_.push_back(key);
+  if (queue_.size() > depth_max_) {
+    depth_max_ = queue_.size();
+    if (metrics_) {
+      metrics_->RecordMax(name_ + ".queue_depth_max",
+                          static_cast<std::int64_t>(depth_max_));
+    }
+  }
   if (!dispatch_scheduled_ && !paused_) {
     // The loop picks up work when it is next free.
     ScheduleDispatch(std::max(engine_.now(), busy_until_));

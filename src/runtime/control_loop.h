@@ -11,8 +11,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <set>
 #include <string>
+#include <unordered_set>
 
 #include "common/active_tracker.h"
 #include "common/cost_model.h"
@@ -49,7 +49,11 @@ class ControlLoop {
   void Resume();
 
   bool idle() const { return queue_.empty() && !dispatch_scheduled_; }
+  bool paused() const { return paused_; }
   std::size_t depth() const { return queue_.size(); }
+  // High-water mark of the queue depth, also recorded as the
+  // "<name>.queue_depth_max" gauge in the MetricsRecorder.
+  std::size_t depth_max() const { return depth_max_; }
   std::uint64_t processed() const { return processed_; }
   const std::string& name() const { return name_; }
 
@@ -63,7 +67,10 @@ class ControlLoop {
   MetricsRecorder* metrics_;
   Reconciler reconcile_;
   std::deque<std::string> queue_;
-  std::set<std::string> queued_keys_;
+  // Membership-only dedup set; never iterated, so hashing order is
+  // irrelevant to determinism.
+  std::unordered_set<std::string> queued_keys_;
+  std::size_t depth_max_ = 0;
   bool dispatch_scheduled_ = false;
   bool paused_ = false;
   // Bumped by Clear(); stale dispatch events check it and abort.

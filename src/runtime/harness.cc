@@ -1,0 +1,242 @@
+#include "runtime/harness.h"
+
+namespace kd::runtime {
+
+ControllerHarness::ControllerHarness(Env& env, Mode mode, Options options)
+    : env_(env),
+      mode_(mode),
+      options_(std::move(options)),
+      api_(env.engine, env.apiserver, options_.client_id, options_.qps,
+           options_.burst, options_.api_metrics ? &env.metrics : nullptr),
+      loop_(env.engine, env.cost, options_.name, &env.metrics),
+      endpoint_(env.network, options_.address) {}
+
+ControllerHarness::~ControllerHarness() {
+  for (auto& [id, client] : dynamic_downstreams_) {
+    if (client) client->Stop();
+  }
+  if (static_downstream_) static_downstream_->Stop();
+  if (upstream_) upstream_->Stop();
+  for (WatchBinding& watch : watches_) {
+    if (watch.active) env_.apiserver.Unwatch(watch.id);
+  }
+}
+
+void ControllerHarness::SyncKind(ObjectCache& cache, std::string kind,
+                                 When when, std::function<void()> on_synced) {
+  TrackCache(cache);
+  SyncBinding binding;
+  binding.cache = &cache;
+  binding.kind = std::move(kind);
+  binding.when = when;
+  binding.on_synced = std::move(on_synced);
+  binding.informer = std::make_unique<Informer>(api_, env_.apiserver, cache);
+  syncs_.push_back(std::move(binding));
+}
+
+void ControllerHarness::WatchFiltered(
+    std::string kind, std::function<bool(const model::ApiObject&)> filter,
+    std::function<void(const apiserver::WatchEvent&)> handler, When when) {
+  WatchBinding binding;
+  binding.kind = std::move(kind);
+  binding.filter = std::move(filter);
+  binding.handler = std::move(handler);
+  binding.when = when;
+  watches_.push_back(std::move(binding));
+}
+
+void ControllerHarness::SetReconciler(ControlLoop::Reconciler reconcile) {
+  loop_.SetReconciler(std::move(reconcile));
+}
+
+void ControllerHarness::ServeUpstream(UpstreamSpec spec) {
+  have_upstream_spec_ = true;
+  upstream_spec_ = std::move(spec);
+}
+
+void ControllerHarness::ConnectDownstream(DownstreamSpec spec) {
+  have_downstream_spec_ = true;
+  downstream_spec_ = std::move(spec);
+}
+
+void ControllerHarness::TrackCache(ObjectCache& cache) {
+  for (ObjectCache* tracked : tracked_caches_) {
+    if (tracked == &cache) return;
+  }
+  tracked_caches_.push_back(&cache);
+}
+
+std::unique_ptr<kubedirect::HierarchyClient> ControllerHarness::MakeClient(
+    DownstreamSpec spec) {
+  return std::make_unique<kubedirect::HierarchyClient>(
+      env_.engine, env_.cost, endpoint_, spec.peer,
+      spec.cache != nullptr ? *spec.cache : scratch_, spec.kind_filter,
+      std::move(spec.scope), std::move(spec.callbacks), &env_.metrics);
+}
+
+void ControllerHarness::OnStaticLinkReady(const kubedirect::ChangeSet&) {
+  if (options_.pause_while_link_not_ready) loop_.Resume();
+  // Replay reconciles deferred while the link was down (§4.1:
+  // opportunistic forwarding drops are repaired level-triggered).
+  std::vector<std::string> replay = std::move(deferred_keys_);
+  deferred_keys_.clear();
+  deferred_set_.clear();
+  for (const std::string& key : replay) loop_.Enqueue(key);
+}
+
+void ControllerHarness::OnStaticLinkDown() {
+  if (options_.pause_while_link_not_ready) loop_.Pause();
+}
+
+void ControllerHarness::Start() {
+  crashed_ = false;
+  ++session_;
+  if (have_upstream_spec_ && upstream_spec_.downstream_first) {
+    upstream_started_ = false;
+    baseline_synced_ = false;
+  }
+
+  for (SyncBinding& binding : syncs_) {
+    if (!ModeMatches(binding.when)) continue;
+    binding.informer->Start(binding.kind, binding.on_synced);
+  }
+  for (WatchBinding& binding : watches_) {
+    if (!ModeMatches(binding.when)) continue;
+    binding.id = env_.apiserver.Watch(
+        binding.kind, binding.filter,
+        [this, handler = &binding.handler](const apiserver::WatchEvent& e) {
+          if (!crashed_) (*handler)(e);
+        });
+    binding.active = true;
+  }
+
+  if (mode_ == Mode::kKd && have_upstream_spec_) {
+    upstream_ = std::make_unique<kubedirect::HierarchyServer>(
+        env_.engine, env_.cost, endpoint_,
+        upstream_spec_.cache != nullptr ? *upstream_spec_.cache : scratch_,
+        upstream_spec_.kind_filter, upstream_spec_.callbacks, &env_.metrics);
+    if (!upstream_spec_.downstream_first) {
+      upstream_started_ = true;
+      upstream_->Start();
+    }
+  }
+  if (mode_ == Mode::kKd && have_downstream_spec_) {
+    DownstreamSpec spec = downstream_spec_;  // callbacks copied per session
+    auto user_ready = spec.callbacks.on_ready;
+    spec.callbacks.on_ready =
+        [this, user_ready](const kubedirect::ChangeSet& changes) {
+          OnStaticLinkReady(changes);
+          if (user_ready) user_ready(changes);
+        };
+    auto user_down = spec.callbacks.on_down;
+    spec.callbacks.on_down = [this, user_down] {
+      OnStaticLinkDown();
+      if (user_down) user_down();
+    };
+    static_downstream_ = MakeClient(std::move(spec));
+    if (options_.pause_while_link_not_ready) loop_.Pause();
+    static_downstream_->Start();
+  }
+  if (have_upstream_spec_ && upstream_spec_.downstream_first) {
+    MaybeStartUpstream();
+  }
+  if (on_start_) on_start_();
+}
+
+void ControllerHarness::Crash() {
+  crashed_ = true;
+  if (on_crash_) on_crash_();
+  tombstones_.Clear();  // session-scoped intents (§4.3)
+  deferred_keys_.clear();
+  deferred_set_.clear();
+  for (ObjectCache* cache : tracked_caches_) cache->Clear();
+  loop_.Clear();
+  for (SyncBinding& binding : syncs_) binding.informer->Stop();
+  for (WatchBinding& binding : watches_) {
+    if (binding.active) {
+      env_.apiserver.Unwatch(binding.id);
+      binding.active = false;
+    }
+  }
+  // Crash the endpoint first: connections die silently (no FIN), the
+  // peers detect the loss via keepalive timeout — then tear down the
+  // link objects locally.
+  env_.network.CrashEndpoint(endpoint_.address());
+  for (auto& [id, client] : dynamic_downstreams_) {
+    if (client) client->Stop();
+  }
+  dynamic_downstreams_.clear();
+  downstream_exempt_.clear();
+  if (static_downstream_) {
+    static_downstream_->Stop();
+    static_downstream_.reset();
+  }
+  if (upstream_) {
+    upstream_->Stop();
+    upstream_.reset();
+  }
+  upstream_started_ = false;
+}
+
+void ControllerHarness::EnsureDownstream(const std::string& id,
+                                         DownstreamSpec spec) {
+  auto& slot = dynamic_downstreams_[id];
+  if (slot) return;
+  // The gate re-evaluates whenever a fan-out link completes its
+  // handshake; policy logic runs after (Listen is synchronous, so the
+  // relative order is unobservable).
+  auto user_ready = spec.callbacks.on_ready;
+  spec.callbacks.on_ready =
+      [this, user_ready](const kubedirect::ChangeSet& changes) {
+        MaybeStartUpstream();
+        if (user_ready) user_ready(changes);
+      };
+  slot = MakeClient(std::move(spec));
+  slot->Start();
+}
+
+kubedirect::HierarchyClient* ControllerHarness::downstream(
+    const std::string& id) {
+  auto it = dynamic_downstreams_.find(id);
+  return it == dynamic_downstreams_.end() ? nullptr : it->second.get();
+}
+
+bool ControllerHarness::DownstreamReady(const std::string& id) const {
+  auto it = dynamic_downstreams_.find(id);
+  return it != dynamic_downstreams_.end() && it->second != nullptr &&
+         it->second->ready();
+}
+
+void ControllerHarness::SetDownstreamExempt(const std::string& id,
+                                            bool exempt) {
+  downstream_exempt_[id] = exempt;
+}
+
+bool ControllerHarness::DownstreamExempt(const std::string& id) const {
+  auto it = downstream_exempt_.find(id);
+  return it != downstream_exempt_.end() && it->second;
+}
+
+bool ControllerHarness::DownstreamsSettled() const {
+  if (!baseline_synced_) return false;
+  for (const auto& [id, client] : dynamic_downstreams_) {
+    if (DownstreamExempt(id)) continue;
+    if (!client || !client->ready()) return false;
+  }
+  return true;
+}
+
+void ControllerHarness::MaybeStartUpstream() {
+  if (upstream_started_ || !upstream_ || crashed_) return;
+  if (!DownstreamsSettled()) return;
+  upstream_started_ = true;
+  upstream_->Start();
+}
+
+void ControllerHarness::DeferUntilLinkReady(const std::string& key) {
+  if (deferred_set_.count(key)) return;
+  deferred_set_.insert(key);
+  deferred_keys_.push_back(key);
+}
+
+}  // namespace kd::runtime

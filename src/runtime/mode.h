@@ -1,0 +1,19 @@
+// How a controller exchanges state with its neighbours. Lives in
+// runtime (not controllers) so the ControllerHarness can switch its
+// wiring on it without depending on the controller layer.
+#pragma once
+
+namespace kd::runtime {
+
+//   kK8s — stock Kubernetes: all state flows through the API server
+//          (write-notify indirection, rate limits, etcd persistence);
+//   kKd  — KubeDirect: direct message passing over pairwise links,
+//          API server used only where the paper's prototype keeps it
+//          (pod publication by the Kubelet, node-invalid marks).
+enum class Mode { kK8s, kKd };
+
+inline const char* ModeName(Mode mode) {
+  return mode == Mode::kK8s ? "K8s" : "Kd";
+}
+
+}  // namespace kd::runtime

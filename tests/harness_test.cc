@@ -1,0 +1,282 @@
+// Tests for the shared ControllerHarness substrate every narrow-waist
+// controller runs on: crash/restart epoch invalidation, declarative
+// wiring (SyncKind / WatchFiltered), §4.2 pause-during-handshake and
+// downstream-first gating, and deferred-reconcile replay.
+#include "runtime/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apiserver/apiserver.h"
+#include "model/objects.h"
+#include "net/network.h"
+#include "runtime/env.h"
+#include "sim/engine.h"
+
+namespace kd::runtime {
+namespace {
+
+using model::ApiObject;
+
+ApiObject Pod(const std::string& name) {
+  ApiObject pod;
+  pod.kind = model::kKindPod;
+  pod.name = name;
+  model::SetPodPhase(pod, model::PodPhase::kPending);
+  return pod;
+}
+
+class HarnessTest : public ::testing::TestWithParam<Mode> {
+ protected:
+  HarnessTest()
+      : network_(engine_),
+        cost_(CostModel::Default()),
+        apiserver_(engine_, cost_),
+        env_{engine_, network_, apiserver_, cost_, metrics_} {}
+
+  Mode mode() const { return GetParam(); }
+
+  ControllerHarness::Options Opts(const std::string& name,
+                                  bool pause = false) {
+    ControllerHarness::Options options;
+    options.name = name;
+    options.client_id = name + "-client";
+    options.address = "kd.test." + name;
+    options.qps = cost_.controller_qps;
+    options.burst = cost_.controller_burst;
+    options.pause_while_link_not_ready = pause;
+    return options;
+  }
+
+  // A parent that serves a level-triggered "__none__" upstream — what
+  // a child harness's static downstream link handshakes against.
+  void ServeNoneUpstream(ControllerHarness& parent,
+                         bool downstream_first = false) {
+    ControllerHarness::UpstreamSpec spec;
+    spec.kind_filter = "__none__";
+    spec.downstream_first = downstream_first;
+    parent.ServeUpstream(std::move(spec));
+  }
+
+  void DialParent(ControllerHarness& child, const std::string& parent_name) {
+    ControllerHarness::DownstreamSpec spec;
+    spec.peer = "kd.test." + parent_name;
+    spec.kind_filter = "__none__";
+    child.ConnectDownstream(std::move(spec));
+  }
+
+  sim::Engine engine_;
+  net::Network network_;
+  CostModel cost_;
+  apiserver::ApiServer apiserver_;
+  MetricsRecorder metrics_;
+  Env env_;
+};
+
+TEST_P(HarnessTest, SessionEpochBumpsAcrossRestarts) {
+  ControllerHarness harness(env_, mode(), Opts("epoch"));
+  EXPECT_EQ(harness.session(), 0u);
+  harness.Start();
+  EXPECT_EQ(harness.session(), 1u);
+  EXPECT_FALSE(harness.crashed());
+  harness.Crash();
+  EXPECT_TRUE(harness.crashed());
+  harness.Restart();
+  EXPECT_EQ(harness.session(), 2u);
+  EXPECT_FALSE(harness.crashed());
+}
+
+TEST_P(HarnessTest, CrashClearsSyncedCacheAndRestartResyncs) {
+  apiserver_.SeedObject(model::MakeNode("node-0", 10'000, 64 * 1024));
+  ObjectCache cache;
+  ControllerHarness harness(env_, mode(), Opts("sync"));
+  harness.SyncKind(cache, model::kKindNode);
+  harness.Start();
+  engine_.RunFor(Seconds(1));
+  EXPECT_NE(cache.Get("Node/node-0"), nullptr);
+
+  // The cache is invalidated synchronously at crash (recover mode
+  // starts from empty state), and resynced by the informer on restart.
+  harness.Crash();
+  EXPECT_EQ(cache.Get("Node/node-0"), nullptr);
+  harness.Restart();
+  engine_.RunFor(Seconds(1));
+  EXPECT_NE(cache.Get("Node/node-0"), nullptr);
+}
+
+TEST_P(HarnessTest, WatchEventsStopAtCrashAndResumeOnRestart) {
+  int events = 0;
+  ControllerHarness harness(env_, mode(), Opts("watch"));
+  harness.WatchFiltered(
+      model::kKindPod, [](const ApiObject&) { return true; },
+      [&](const apiserver::WatchEvent&) { ++events; });
+  harness.Start();
+  apiserver_.SeedObject(Pod("p1"));
+  engine_.RunFor(Seconds(1));
+  EXPECT_EQ(events, 1);
+
+  harness.Crash();
+  apiserver_.SeedObject(Pod("p2"));
+  engine_.RunFor(Seconds(1));
+  EXPECT_EQ(events, 1);  // unwatched: the crashed epoch sees nothing
+
+  harness.Restart();
+  apiserver_.SeedObject(Pod("p3"));
+  engine_.RunFor(Seconds(1));
+  EXPECT_EQ(events, 2);
+}
+
+TEST_P(HarnessTest, CrashHookRunsBeforeCacheTeardown) {
+  apiserver_.SeedObject(model::MakeNode("node-0", 10'000, 64 * 1024));
+  ObjectCache cache;
+  ControllerHarness harness(env_, mode(), Opts("hooks"));
+  harness.SyncKind(cache, model::kKindNode);
+  bool saw_cache_populated = false;
+  harness.OnCrash([&] {
+    // Policy hooks drop soft state first, while caches still hold the
+    // pre-crash view.
+    saw_cache_populated = cache.Get("Node/node-0") != nullptr;
+  });
+  harness.Start();
+  engine_.RunFor(Seconds(1));
+  harness.Crash();
+  EXPECT_TRUE(saw_cache_populated);
+  EXPECT_EQ(cache.Get("Node/node-0"), nullptr);
+}
+
+TEST_P(HarnessTest, PauseDuringHandshakeGatesReconciles) {
+  ControllerHarness parent(env_, mode(), Opts("parent"));
+  ServeNoneUpstream(parent);
+  ControllerHarness child(env_, mode(), Opts("child", /*pause=*/true));
+  DialParent(child, "parent");
+  std::vector<std::string> reconciled;
+  child.SetReconciler([&](const std::string& key) {
+    reconciled.push_back(key);
+    return Milliseconds(0);
+  });
+
+  child.Start();  // the parent is not listening yet
+  child.loop().Enqueue("Pod/a");
+  engine_.RunFor(Seconds(1));
+  if (mode() == Mode::kKd) {
+    // No reconcile may act on state mid-invalidation: the loop stays
+    // paused until the handshake completes.
+    EXPECT_FALSE(child.link_ready());
+    EXPECT_TRUE(reconciled.empty());
+    parent.Start();
+    engine_.RunFor(Seconds(5));
+    EXPECT_TRUE(child.link_ready());
+  }
+  // K8s mode has no Kd link, so the loop is never gated.
+  EXPECT_EQ(reconciled, std::vector<std::string>{"Pod/a"});
+}
+
+TEST_P(HarnessTest, ReHandshakeAfterPeerCrashPausesAgain) {
+  ControllerHarness parent(env_, mode(), Opts("parent"));
+  ServeNoneUpstream(parent);
+  ControllerHarness child(env_, mode(), Opts("child", /*pause=*/true));
+  DialParent(child, "parent");
+  std::vector<std::string> reconciled;
+  child.SetReconciler([&](const std::string& key) {
+    reconciled.push_back(key);
+    return Milliseconds(0);
+  });
+  if (mode() == Mode::kK8s) return;  // link lifecycle is Kd-only
+
+  parent.Start();
+  child.Start();
+  engine_.RunFor(Seconds(5));
+  ASSERT_TRUE(child.link_ready());
+
+  parent.Crash();
+  engine_.RunFor(Seconds(5));  // keepalive notices the silent drop
+  ASSERT_FALSE(child.link_ready());
+  child.loop().Enqueue("Pod/b");
+  engine_.RunFor(Seconds(1));
+  EXPECT_TRUE(reconciled.empty());  // paused across the outage
+
+  parent.Restart();
+  engine_.RunFor(Seconds(10));
+  EXPECT_TRUE(child.link_ready());
+  EXPECT_EQ(reconciled, std::vector<std::string>{"Pod/b"});
+}
+
+TEST_P(HarnessTest, DeferredReconcilesReplayOnHandshake) {
+  ControllerHarness parent(env_, mode(), Opts("parent"));
+  ServeNoneUpstream(parent);
+  ControllerHarness child(env_, mode(), Opts("child"));
+  DialParent(child, "parent");
+  std::vector<std::string> reconciled;
+  child.SetReconciler([&](const std::string& key) {
+    reconciled.push_back(key);
+    return Milliseconds(0);
+  });
+
+  child.Start();  // link down: the parent is not listening
+  child.DeferUntilLinkReady("Pod/a");
+  child.DeferUntilLinkReady("Pod/b");
+  child.DeferUntilLinkReady("Pod/a");  // deduped while parked
+  engine_.RunFor(Seconds(1));
+  EXPECT_TRUE(reconciled.empty());
+
+  parent.Start();
+  engine_.RunFor(Seconds(5));
+  if (mode() == Mode::kKd) {
+    EXPECT_EQ(reconciled, (std::vector<std::string>{"Pod/a", "Pod/b"}));
+  } else {
+    // K8s controllers never park keys; without a link there is no
+    // handshake to replay them.
+    EXPECT_TRUE(reconciled.empty());
+  }
+}
+
+TEST_P(HarnessTest, CrashDropsDeferredKeys) {
+  ControllerHarness parent(env_, mode(), Opts("parent"));
+  ServeNoneUpstream(parent);
+  ControllerHarness child(env_, mode(), Opts("child"));
+  DialParent(child, "parent");
+  std::vector<std::string> reconciled;
+  child.SetReconciler([&](const std::string& key) {
+    reconciled.push_back(key);
+    return Milliseconds(0);
+  });
+
+  child.Start();
+  child.DeferUntilLinkReady("Pod/a");
+  child.Crash();  // deferred intents are session-scoped
+  child.Restart();
+  parent.Start();
+  engine_.RunFor(Seconds(5));
+  EXPECT_TRUE(reconciled.empty());
+}
+
+TEST_P(HarnessTest, DownstreamFirstUpstreamWaitsForBaseline) {
+  ControllerHarness parent(env_, mode(), Opts("parent"));
+  ServeNoneUpstream(parent, /*downstream_first=*/true);
+  ControllerHarness child(env_, mode(), Opts("child"));
+  DialParent(child, "parent");
+
+  parent.Start();
+  child.Start();
+  engine_.RunFor(Seconds(2));
+  // §4.2: the recovering parent must not accept a handshake before its
+  // own source of truth is rebuilt.
+  EXPECT_FALSE(child.link_ready());
+  if (mode() == Mode::kK8s) return;
+
+  parent.SetBaselineSynced(true);
+  parent.MaybeStartUpstream();
+  engine_.RunFor(Seconds(10));
+  EXPECT_TRUE(child.link_ready());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HarnessTest,
+                         ::testing::Values(Mode::kK8s, Mode::kKd),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return std::string(ModeName(info.param));
+                         });
+
+}  // namespace
+}  // namespace kd::runtime

@@ -17,7 +17,14 @@
 //                   every step, not just at quiescence);
 //   Lifecycle     — pods never reappear after removal from the API
 //                   server with the same identity (Terminating is
-//                   irreversible).
+//                   irreversible);
+//   EndpointsConvergence — the KubeProxy routing table (fed by the
+//                   Endpoints controller) equals the Running pod IPs
+//                   once the system quiesces.
+//
+// The action set covers the whole chain, including crash/restart of
+// the Endpoints controller and KubeProxy and partition/heal of their
+// link.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -69,7 +76,7 @@ class ModelWalk {
         break;
       }
       case 3: {  // crash + restart a random controller
-        switch (rng_.UniformInt(4)) {
+        switch (rng_.UniformInt(6)) {
           case 0:
             cluster_->autoscaler().Crash();
             cluster_->autoscaler().Restart();
@@ -85,6 +92,14 @@ class ModelWalk {
           case 3:
             cluster_->scheduler().Crash();
             cluster_->scheduler().Restart();
+            break;
+          case 4:
+            cluster_->endpoints_controller().Crash();
+            cluster_->endpoints_controller().Restart();
+            break;
+          case 5:
+            cluster_->kube_proxy().Crash();
+            cluster_->kube_proxy().Restart();
             break;
         }
         // The platform is level-triggered: it re-issues its latest
@@ -137,6 +152,7 @@ class ModelWalk {
         {Addresses::Autoscaler(), Addresses::DeploymentController()},
         {Addresses::DeploymentController(), Addresses::ReplicaSetController()},
         {Addresses::ReplicaSetController(), Addresses::Scheduler()},
+        {Addresses::EndpointsController(), Addresses::KubeProxy()},
     };
     for (int k = 0; k < kNodes; ++k) {
       links.emplace_back(Addresses::Scheduler(),
@@ -220,6 +236,15 @@ class ModelWalk {
     // Tombstones drained (all terminations settled).
     EXPECT_EQ(cluster_->replicaset_controller().tombstone_count(), 0u);
     EXPECT_EQ(cluster_->scheduler().tombstone_count(), 0u);
+    // EndpointsConvergence: the data plane's routing table (KubeProxy,
+    // fed by the Endpoints controller's stream) agrees with the set of
+    // Running pod IPs the API server publishes.
+    const std::vector<std::string> want = cluster_->ReadyPodAddresses("fn");
+    const std::vector<std::string> got =
+        cluster_->kube_proxy().AddressesFor("fn");
+    EXPECT_EQ(std::set<std::string>(got.begin(), got.end()),
+              std::set<std::string>(want.begin(), want.end()))
+        << "KubeProxy routing table diverged from ready pods";
   }
 
   sim::Engine engine_;
