@@ -109,6 +109,7 @@ void Autoscaler::SendScale(const std::string& deployment_name,
           }
           return;
         }
+        // kdlint: allow(R5) write-through of the API response; waiting for the watch echo would double round-trip latency
         cache_.Upsert(std::move(*result));
       });
 }

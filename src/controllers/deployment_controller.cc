@@ -138,6 +138,7 @@ Duration DeploymentController::Reconcile(const std::string& deployment_name) {
           }
           return;
         }
+        // kdlint: allow(R5) write-through of the API response; waiting for the watch echo would double round-trip latency
         cache_.Upsert(std::move(*result));
       });
   return 0;

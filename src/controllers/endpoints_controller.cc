@@ -150,6 +150,7 @@ Duration EndpointsController::Reconcile(const std::string& service_name) {
       }
       return;
     }
+    // kdlint: allow(R5) write-through of the API response; waiting for the watch echo would double round-trip latency
     cache_.Upsert(std::move(*result));
   };
   if (existing == nullptr) {

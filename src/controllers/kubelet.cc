@@ -47,8 +47,10 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
       kKindNode, [me](const ApiObject& node) { return node.name == me; },
       [this](const apiserver::WatchEvent& event) {
         if (event.type == apiserver::WatchEventType::kDeleted) {
+          // kdlint: allow(R5) drain-watch mirror: raw watch events are this cache's only feed
           node_watch_cache_.Remove(event.object.Key());
         } else {
+          // kdlint: allow(R5) drain-watch mirror: raw watch events are this cache's only feed
           node_watch_cache_.Upsert(event.object);
         }
       },
@@ -68,6 +70,7 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
             // The API server already removed the object; just stop the
             // container locally.
             const std::string key = event.object.Key();
+            // kdlint: allow(R5) kubelet-local pod table: fed by the raw watch (K8s) / ingress (Kd), not informer-synced
             cache_.Remove(key);
             starting_.erase(key);
             published_.erase(key);
@@ -93,6 +96,7 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
       harness_.api().Get(kKindNode, node_name_,
                          [this](StatusOr<ApiObject> result) {
                            if (result.ok() && !harness_.crashed()) {
+                             // kdlint: allow(R5) drain-watch mirror: raw watch events are this cache's only feed
                              node_watch_cache_.Upsert(std::move(*result));
                            }
                          });
@@ -106,6 +110,7 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
             for (auto& pod : *result) {
               if (model::GetNodeName(pod) == node_name_) {
                 published_.insert(pod.Key());
+                // kdlint: allow(R5) kubelet-local pod table: fed by the raw watch (K8s) / ingress (Kd), not informer-synced
                 cache_.Upsert(std::move(pod));
               }
             }
@@ -171,6 +176,7 @@ void Kubelet::OnPodBound(ApiObject pod) {
     return;  // already running/terminating; nothing to start
   }
   if (model::IsTerminating(pod)) return;
+  // kdlint: allow(R5) kubelet-local pod table: fed by the raw watch (K8s) / ingress (Kd), not informer-synced
   cache_.Upsert(std::move(pod));
   if (starting_.count(key)) return;
   StartSandbox(key);
@@ -219,6 +225,7 @@ void Kubelet::OnSandboxReady(const std::string& pod_key) {
   ApiObject running = *pod;
   model::SetPodPhase(running, model::PodPhase::kRunning);
   model::SetPodIp(running, AssignIp());
+  // kdlint: allow(R5) kubelet-local pod table: fed by the raw watch (K8s) / ingress (Kd), not informer-synced
   cache_.Upsert(running);
   env_.metrics.Count("sandboxes_started");
 
@@ -311,6 +318,7 @@ void Kubelet::Terminate(const std::string& pod_key, bool notify_upstream) {
     return;
   }
   env_.metrics.Count("pods_terminated");
+  // kdlint: allow(R5) kubelet-local pod table: fed by the raw watch (K8s) / ingress (Kd), not informer-synced
   cache_.Remove(pod_key);
   const bool was_published = published_.erase(pod_key) > 0;
   // The container takes kubelet_terminate to actually die; only then do

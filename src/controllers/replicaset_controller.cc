@@ -137,7 +137,9 @@ void ReplicaSetController::OnDownstreamRemove(const std::string& pod_key) {
   // preempted, or terminated via tombstone). Drop it, settle any
   // tombstone, acknowledge, and reconcile the owner for replacement.
   EnqueueOwnerOf(pod_key);
+  // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
   pod_cache_.Remove(pod_key);
+  // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
   pod_cache_.DropInvalid(pod_key);
   GcTombstone(pod_key);
   if (kubedirect::HierarchyClient* downstream = harness_.downstream()) {
@@ -168,6 +170,7 @@ void ReplicaSetController::OnDownstreamReady(
     // A tombstoned pod that the downstream no longer holds is exactly
     // the "locally present but not downstream" GC condition of §4.3.
     GcTombstone(key);
+    // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
     pod_cache_.DropInvalid(key);
   }
   for (const std::string& key : changes.updated) EnqueueOwnerOf(key);
@@ -265,6 +268,7 @@ void ReplicaSetController::CreatePods(const ApiObject& rs,
           env_.cost.kd_naive_full_objects
               ? kubedirect::FullObjectMessage(pod)
               : kubedirect::PodCreateMessage(pod, rs_key);
+      // kdlint: allow(R5) §3.1 egress: the local cache is populated first, then the message forwards
       pod_cache_.Upsert(std::move(pod));
       harness_.downstream()->SendUpsert(msg);
       continue;

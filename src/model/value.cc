@@ -430,8 +430,8 @@ class Parser {
             if (pos_ + 4 > text_.size()) {
               return Status(StatusCode::kInvalidArgument, "bad \\u escape");
             }
-            const unsigned code =
-                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
             pos_ += 4;
             out += static_cast<char>(code & 0x7F);
             break;

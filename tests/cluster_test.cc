@@ -148,8 +148,8 @@ TEST_P(ClusterTest, CapacityLimitLeavesExcessPending) {
 
 INSTANTIATE_TEST_SUITE_P(Modes, ClusterTest,
                          ::testing::Values(Mode::kK8s, Mode::kKd),
-                         [](const ::testing::TestParamInfo<Mode>& info) {
-                           return controllers::ModeName(info.param);
+                         [](const ::testing::TestParamInfo<Mode>& param_info) {
+                           return controllers::ModeName(param_info.param);
                          });
 
 // --- Kd-specific behaviour --------------------------------------------

@@ -261,8 +261,8 @@ INSTANTIATE_TEST_SUITE_P(Modes, PlatformTest,
                          ::testing::Values(controllers::Mode::kK8s,
                                            controllers::Mode::kKd),
                          [](const ::testing::TestParamInfo<controllers::Mode>&
-                                info) {
-                           return controllers::ModeName(info.param);
+                                param_info) {
+                           return controllers::ModeName(param_info.param);
                          });
 
 TEST(PlatformDirigentTest, EndToEndOnCleanSlate) {

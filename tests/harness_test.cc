@@ -274,8 +274,8 @@ TEST_P(HarnessTest, DownstreamFirstUpstreamWaitsForBaseline) {
 
 INSTANTIATE_TEST_SUITE_P(Modes, HarnessTest,
                          ::testing::Values(Mode::kK8s, Mode::kKd),
-                         [](const ::testing::TestParamInfo<Mode>& info) {
-                           return std::string(ModeName(info.param));
+                         [](const ::testing::TestParamInfo<Mode>& param_info) {
+                           return std::string(ModeName(param_info.param));
                          });
 
 }  // namespace

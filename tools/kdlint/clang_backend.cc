@@ -1,0 +1,380 @@
+// AST-accurate kdlint backend on the libclang C API, driven by the
+// project's compile_commands.json. Only compiled when CMake finds
+// clang-c/Index.h (see CMakeLists.txt); the token-mode fallback in
+// rules.cc covers toolchains without libclang and is the mode the
+// fixture tests always exercise.
+//
+// Headers and any file without a compile command fall back to the
+// token analyzer, so one invocation always covers every input file.
+#if defined(KDLINT_HAVE_LIBCLANG)
+
+#include <clang-c/CXCompilationDatabase.h>
+#include <clang-c/Index.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kdlint.h"
+
+namespace kdlint {
+namespace {
+
+std::string ToStd(CXString s) {
+  const char* c = clang_getCString(s);
+  std::string out = c != nullptr ? c : "";
+  clang_disposeString(s);
+  return out;
+}
+
+int LineOf(CXCursor cursor) {
+  unsigned line = 0;
+  clang_getExpansionLocation(clang_getCursorLocation(cursor), nullptr, &line,
+                             nullptr, nullptr);
+  return static_cast<int>(line);
+}
+
+bool InMainFile(CXCursor cursor) {
+  return clang_Location_isFromMainFile(clang_getCursorLocation(cursor)) != 0;
+}
+
+const std::set<std::string>& BannedIdents() {
+  static const std::set<std::string> kSet = {
+      "system_clock",   "steady_clock", "high_resolution_clock",
+      "random_device",  "gettimeofday", "clock_gettime",
+      "localtime",      "localtime_r",  "gmtime",
+      "mktime",         "getenv",       "setenv",
+      "srand",          "rand",         "drand48",
+      "random_shuffle", "sleep_for",    "sleep_until",
+      "nanosleep",      "usleep",       "time"};
+  return kSet;
+}
+
+const std::set<std::string>& OrderEscapingCalls() {
+  static const std::set<std::string> kSet = {
+      "ScheduleAt", "ScheduleAfter", "Schedule",    "Send",
+      "Enqueue",    "EnqueueAfter",  "Create",      "Update",
+      "Delete",     "Upsert",        "Remove",      "MarkInvalid",
+      "DropInvalid", "Publish",      "Emit",        "Push",
+      "Dispatch"};
+  return kSet;
+}
+
+const std::set<std::string>& ScheduleEntryPoints() {
+  static const std::set<std::string> kSet = {"ScheduleAt", "ScheduleAfter",
+                                             "Schedule"};
+  return kSet;
+}
+
+const std::set<std::string>& CacheMutators() {
+  static const std::set<std::string> kSet = {"Upsert", "Remove", "MarkInvalid",
+                                             "DropInvalid", "Clear"};
+  return kSet;
+}
+
+std::string CanonicalTypeSpelling(CXCursor cursor) {
+  return ToStd(clang_getTypeSpelling(
+      clang_getCanonicalType(clang_getCursorType(cursor))));
+}
+
+// First template argument of a container type spelling, e.g.
+// "std::map<kd::Pod *, int>" -> "kd::Pod *".
+std::string FirstTemplateArg(const std::string& type) {
+  const std::size_t open = type.find('<');
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < type.size(); ++i) {
+    if (type[i] == '<') ++depth;
+    if (type[i] == '>') --depth;
+    if ((type[i] == ',' && depth == 1) || depth == 0) {
+      return type.substr(open + 1, i - open - 1);
+    }
+  }
+  return "";
+}
+
+bool IsAssociativeContainer(const std::string& type) {
+  for (const char* name :
+       {"std::map<", "std::set<", "std::multimap<", "std::multiset<",
+        "std::unordered_map<", "std::unordered_set<",
+        "std::unordered_multimap<", "std::unordered_multiset<",
+        "std::priority_queue<"}) {
+    if (type.find(name) != std::string::npos) return true;
+  }
+  return false;
+}
+
+struct Ctx {
+  std::string file;
+  const Options* opts;
+  std::vector<Finding>* out;
+  CXTranslationUnit tu;
+
+  bool Want(const char* rule) const {
+    return (opts->rules.empty() || opts->rules.count(rule) > 0) &&
+           RuleAppliesTo(*opts, rule, file);
+  }
+  void Add(int line, const char* rule, std::string message) {
+    out->push_back({file, line, rule, std::move(message), false, ""});
+  }
+};
+
+// --- subtree scans used by R2/R4 -----------------------------------
+
+struct SubtreeScan {
+  bool unordered_range = false;
+  std::string escape_call;
+  int escape_line = 0;
+  bool blanket_ref_lambda = false;
+  int lambda_line = 0;
+  CXTranslationUnit tu;
+};
+
+// First tokens of a lambda: `[ & ]` or `[ & ,` is a blanket by-ref
+// capture default (libclang does not expose capture defaults in the C
+// API, so we look at the spelling).
+bool LambdaHasBlanketRef(CXTranslationUnit tu, CXCursor lambda) {
+  CXToken* toks = nullptr;
+  unsigned n = 0;
+  clang_tokenize(tu, clang_getCursorExtent(lambda), &toks, &n);
+  bool blanket = false;
+  if (n >= 3 && ToStd(clang_getTokenSpelling(tu, toks[0])) == "[" &&
+      ToStd(clang_getTokenSpelling(tu, toks[1])) == "&") {
+    const std::string third = ToStd(clang_getTokenSpelling(tu, toks[2]));
+    blanket = third == "]" || third == ",";
+  }
+  clang_disposeTokens(tu, toks, n);
+  return blanket;
+}
+
+CXChildVisitResult ScanSubtree(CXCursor cursor, CXCursor, CXClientData data) {
+  auto* scan = static_cast<SubtreeScan*>(data);
+  const CXCursorKind kind = clang_getCursorKind(cursor);
+  if (kind == CXCursor_CallExpr) {
+    const std::string name = ToStd(clang_getCursorSpelling(cursor));
+    if (OrderEscapingCalls().count(name) > 0 && scan->escape_call.empty()) {
+      scan->escape_call = name;
+      scan->escape_line = LineOf(cursor);
+    }
+  }
+  if (kind == CXCursor_LambdaExpr && !scan->blanket_ref_lambda &&
+      LambdaHasBlanketRef(scan->tu, cursor)) {
+    scan->blanket_ref_lambda = true;
+    scan->lambda_line = LineOf(cursor);
+  }
+  if (clang_getCursorKind(cursor) != CXCursor_LambdaExpr) {
+    const std::string type = CanonicalTypeSpelling(cursor);
+    if (type.find("unordered_") != std::string::npos) {
+      scan->unordered_range = true;
+    }
+  }
+  return CXChildVisit_Recurse;
+}
+
+// Base object of a member call, for R5 receiver typing.
+struct FirstChild {
+  CXCursor cursor = clang_getNullCursor();
+};
+CXChildVisitResult TakeFirstChild(CXCursor cursor, CXCursor,
+                                  CXClientData data) {
+  static_cast<FirstChild*>(data)->cursor = cursor;
+  return CXChildVisit_Break;
+}
+
+CXChildVisitResult Visit(CXCursor cursor, CXCursor, CXClientData data) {
+  auto* ctx = static_cast<Ctx*>(data);
+  if (!InMainFile(cursor)) return CXChildVisit_Continue;
+  const CXCursorKind kind = clang_getCursorKind(cursor);
+
+  if (ctx->Want("R1") && (kind == CXCursor_DeclRefExpr ||
+                          kind == CXCursor_MemberRefExpr ||
+                          kind == CXCursor_TypeRef)) {
+    const std::string name = ToStd(clang_getCursorSpelling(cursor));
+    // Strip any "class "/"struct " prefix a TypeRef spelling carries.
+    const std::size_t space = name.rfind(' ');
+    const std::string bare =
+        space == std::string::npos ? name : name.substr(space + 1);
+    if (BannedIdents().count(bare) > 0) {
+      // Only flag `time` for the libc function, not arbitrary members.
+      bool flag = bare != "time" || kind == CXCursor_DeclRefExpr;
+      if (flag) {
+        ctx->Add(LineOf(cursor), "R1",
+                 "nondeterministic source '" + bare +
+                     "' (wall clock / ambient entropy) - product code "
+                     "must use sim::Engine::now() and kd::Rng so runs "
+                     "stay bit-reproducible");
+      }
+    }
+  }
+
+  if (ctx->Want("R2") && kind == CXCursor_CXXForRangeStmt) {
+    SubtreeScan scan;
+    scan.tu = ctx->tu;
+    clang_visitChildren(cursor, ScanSubtree, &scan);
+    if (scan.unordered_range && !scan.escape_call.empty()) {
+      ctx->Add(LineOf(cursor), "R2",
+               "iteration over an unordered container calls '" +
+                   scan.escape_call +
+                   "' - hash-table order escapes into event/wire order; "
+                   "iterate an ordered container or a sorted snapshot");
+    }
+  }
+
+  if ((kind == CXCursor_VarDecl || kind == CXCursor_FieldDecl) &&
+      ctx->Want("R3")) {
+    const std::string type = CanonicalTypeSpelling(cursor);
+    if (IsAssociativeContainer(type)) {
+      std::string arg = FirstTemplateArg(type);
+      while (!arg.empty() && arg.back() == ' ') arg.pop_back();
+      if (!arg.empty() && arg.back() == '*') {
+        ctx->Add(LineOf(cursor), "R3",
+                 "container '" + ToStd(clang_getCursorSpelling(cursor)) +
+                     "' is keyed by a pointer; pointer values differ "
+                     "across runs, so any order or hash derived from them "
+                     "is nondeterministic - key by a stable id instead");
+      }
+    }
+  }
+
+  if (kind == CXCursor_CallExpr) {
+    const std::string name = ToStd(clang_getCursorSpelling(cursor));
+    if (ctx->Want("R4") && ScheduleEntryPoints().count(name) > 0) {
+      SubtreeScan scan;
+      scan.tu = ctx->tu;
+      clang_visitChildren(cursor, ScanSubtree, &scan);
+      if (scan.blanket_ref_lambda) {
+        ctx->Add(scan.lambda_line, "R4",
+                 "closure passed to '" + name +
+                     "' captures by blanket reference [&] - locals it "
+                     "captures are dead by the time the event fires; "
+                     "capture explicitly by value (guard re-entrancy "
+                     "with an epoch or EventId)");
+      }
+    }
+    if (ctx->Want("R5") && CacheMutators().count(name) > 0) {
+      FirstChild callee;
+      clang_visitChildren(cursor, TakeFirstChild, &callee);
+      if (clang_getCursorKind(callee.cursor) == CXCursor_MemberRefExpr) {
+        FirstChild base;
+        clang_visitChildren(callee.cursor, TakeFirstChild, &base);
+        const std::string type = CanonicalTypeSpelling(base.cursor);
+        if (type.find("ObjectCache") != std::string::npos) {
+          ctx->Add(LineOf(cursor), "R5",
+                   "policy class mutates an ObjectCache via '" + name +
+                       "' - object mutations must flow through "
+                       "runtime::ApiClient or a harness seam (annotate "
+                       "deliberate ingress/write-through paths with "
+                       "kdlint: allow(R5))");
+        }
+      }
+    }
+  }
+  return CXChildVisit_Recurse;
+}
+
+bool ReadAll(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+bool RunClangMode(const std::vector<std::string>& files,
+                  const std::string& compile_commands_dir,
+                  const Options& opts, std::vector<Finding>& out) {
+  std::string dir = compile_commands_dir;
+  if (dir.empty()) dir = "build";
+  CXCompilationDatabase_Error err = CXCompilationDatabase_NoError;
+  CXCompilationDatabase db =
+      clang_CompilationDatabase_fromDirectory(dir.c_str(), &err);
+  if (err != CXCompilationDatabase_NoError) {
+    std::cerr << "kdlint: cannot load compile_commands.json from '" << dir
+              << "' (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)\n";
+    return false;
+  }
+  CXIndex index = clang_createIndex(/*excludeDeclsFromPCH=*/0,
+                                    /*displayDiagnostics=*/0);
+
+  for (const std::string& file : files) {
+    const std::string abs =
+        std::filesystem::absolute(file).generic_string();
+    CXCompileCommands cmds =
+        clang_CompilationDatabase_getCompileCommands(db, abs.c_str());
+    const unsigned ncmds = clang_CompileCommands_getSize(cmds);
+    if (ncmds == 0) {
+      // Headers and un-built files: token fallback keeps coverage.
+      clang_CompileCommands_dispose(cmds);
+      std::string source;
+      if (ReadAll(file, source)) {
+        std::vector<Finding> per_file = AnalyzeSource(file, source, "", opts);
+        out.insert(out.end(), per_file.begin(), per_file.end());
+      }
+      continue;
+    }
+    CXCompileCommand cmd = clang_CompileCommands_getCommand(cmds, 0);
+    std::vector<std::string> args;
+    const unsigned nargs = clang_CompileCommand_getNumArgs(cmd);
+    for (unsigned i = 1; i < nargs; ++i) {  // skip compiler argv[0]
+      std::string arg = ToStd(clang_CompileCommand_getArg(cmd, i));
+      if (arg == "-o" || arg == "-c") {
+        if (arg == "-o") ++i;  // drop the output path too
+        continue;
+      }
+      if (arg == abs || arg == file) continue;
+      args.push_back(std::move(arg));
+    }
+    std::vector<const char*> argv;
+    argv.reserve(args.size());
+    for (const std::string& a : args) argv.push_back(a.c_str());
+
+    CXTranslationUnit tu = clang_parseTranslationUnit(
+        index, abs.c_str(), argv.data(), static_cast<int>(argv.size()),
+        nullptr, 0, CXTranslationUnit_None);
+    clang_CompileCommands_dispose(cmds);
+    if (tu == nullptr) {
+      std::cerr << "kdlint: failed to parse " << file << "\n";
+      continue;
+    }
+
+    std::vector<Finding> per_file;
+    Ctx ctx{file, &opts, &per_file, tu};
+    clang_visitChildren(clang_getTranslationUnitCursor(tu), Visit, &ctx);
+    clang_disposeTranslationUnit(tu);
+
+    std::string source;
+    if (ReadAll(file, source)) {
+      const Suppressions sup = ParseSuppressions(source);
+      for (Finding& f : per_file) {
+        sup.Apply(f);
+        if (!f.suppressed &&
+            opts.baseline.count(f.file + ":" + std::to_string(f.line) + ":" +
+                                f.rule) > 0) {
+          f.suppressed = true;
+          f.suppress_reason = "baseline";
+        }
+      }
+    }
+    std::stable_sort(per_file.begin(), per_file.end(),
+                     [](const Finding& a, const Finding& b) {
+                       return a.line < b.line;
+                     });
+    out.insert(out.end(), per_file.begin(), per_file.end());
+  }
+
+  clang_disposeIndex(index);
+  clang_CompilationDatabase_dispose(db);
+  return true;
+}
+
+}  // namespace kdlint
+
+#endif  // KDLINT_HAVE_LIBCLANG

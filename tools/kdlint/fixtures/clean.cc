@@ -1,0 +1,30 @@
+// kdlint fixture: a file every rule must pass untouched — ordered
+// containers, explicit captures, virtual time, seam-routed writes.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Engine {
+  long now() const;
+  template <class F>
+  void ScheduleAfter(long delay, F&& fn);
+};
+
+struct ApiClient {
+  void Update(const std::string& key);
+};
+
+struct Reconciler {
+  Engine engine;
+  ApiClient api;
+  std::map<std::string, int> replicas;  // ordered: iteration is stable
+
+  void Kick() {
+    for (const auto& [name, count] : replicas) {
+      engine.ScheduleAfter(count, [this, name] { api.Update(name); });
+    }
+  }
+};
+
+}  // namespace fixture

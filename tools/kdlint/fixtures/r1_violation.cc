@@ -1,0 +1,21 @@
+// kdlint fixture: R1 must fire on wall-clock and entropy sources.
+// Line numbers are asserted exactly by tests/kdlint_test.cc.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long WallClock() {
+  auto t = std::chrono::system_clock::now();  // line 9: R1 system_clock
+  return t.time_since_epoch().count();
+}
+
+int Entropy() {
+  return rand();  // line 14: R1 rand
+}
+
+const char* Env() {
+  return std::getenv("HOME");  // line 18: R1 getenv
+}
+
+}  // namespace fixture

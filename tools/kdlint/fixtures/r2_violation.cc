@@ -1,0 +1,24 @@
+// kdlint fixture: R2 must fire when unordered iteration feeds the
+// event schedule. Line numbers are asserted by tests/kdlint_test.cc.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Engine {
+  template <class F>
+  void ScheduleAfter(long delay, F&& fn);
+};
+
+struct Reconciler {
+  Engine engine;
+  std::unordered_map<std::string, int> replicas;
+
+  void Kick() {
+    for (const auto& [name, count] : replicas) {  // line 18: R2
+      engine.ScheduleAfter(count, [name] { (void)name; });
+    }
+  }
+};
+
+}  // namespace fixture

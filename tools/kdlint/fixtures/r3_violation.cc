@@ -1,0 +1,15 @@
+// kdlint fixture: R3 must fire on pointer-keyed containers.
+// Line numbers are asserted by tests/kdlint_test.cc.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Pod {};
+
+struct Tracker {
+  std::map<Pod*, int> pending;  // line 11: R3 pointer key
+  std::set<const Pod*> seen;    // line 12: R3 pointer key
+};
+
+}  // namespace fixture

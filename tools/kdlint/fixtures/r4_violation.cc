@@ -1,0 +1,16 @@
+// kdlint fixture: R4 must fire on blanket [&] captures passed to the
+// engine's Schedule entry points. Lines asserted by kdlint_test.cc.
+namespace fixture {
+
+struct Engine {
+  template <class F>
+  void ScheduleAfter(long delay, F&& fn);
+};
+
+void Burst(Engine& engine) {
+  int local = 42;
+  engine.ScheduleAfter(10, [&] { local += 1; });  // line 12: R4 blanket [&]
+  engine.ScheduleAfter(20, [local] { (void)local; });  // explicit: clean
+}
+
+}  // namespace fixture

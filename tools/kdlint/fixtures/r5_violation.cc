@@ -1,0 +1,23 @@
+// kdlint fixture: R5 must fire when a policy class mutates an
+// ObjectCache directly. Lines asserted by tests/kdlint_test.cc.
+namespace fixture {
+
+struct ApiObject {};
+
+struct ObjectCache {
+  void Upsert(ApiObject obj);
+  void MarkInvalid(const char* key);
+  const ApiObject* Get(const char* key) const;
+};
+
+struct Policy {
+  ObjectCache pod_cache_;
+
+  void Reconcile() {
+    pod_cache_.Upsert(ApiObject{});        // line 17: R5 direct mutate
+    pod_cache_.MarkInvalid("pods/p0");     // line 18: R5 direct mutate
+    (void)pod_cache_.Get("pods/p0");       // reads are fine
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// kdlint fixture: suppression comments must demote findings without
+// hiding them from --show-suppressed. Asserted by kdlint_test.cc.
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Engine {
+  template <class F>
+  void ScheduleAfter(long delay, F&& fn);
+};
+
+int SeededEntropy() {
+  return rand();  // kdlint: allow(R1) fixture: same-line waiver
+}
+
+struct Telemetry {
+  Engine engine;
+  std::unordered_map<std::string, int> counters;
+
+  void Flush() {
+    // kdlint: allow(R2) fixture: preceding-line waiver
+    for (const auto& [key, value] : counters) {
+      engine.ScheduleAfter(value, [key] { (void)key; });
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,93 @@
+// kdlint — repo-specific determinism & protocol lint for KubeDirect.
+//
+// The simulator's correctness oracle is bit-determinism (the replay
+// fingerprints in tests/determinism_test.cc). These rules statically
+// forbid the bug classes that break it, plus the narrow-waist API
+// contract from the paper (§3.1). See LINT.md for the full rationale.
+//
+//   R1  no wall clock / ambient entropy in product code
+//   R2  unordered-container iteration must not feed event schedules
+//   R3  no pointer values as container keys / ordering criteria
+//   R4  closures passed to sim::Engine::Schedule* must not capture [&]
+//   R5  controller policy classes never mutate ObjectCache directly
+//
+// Suppressions: `// kdlint: allow(R2) reason` on the offending line or
+// the line directly above; `// kdlint: allow-file(R1) reason` anywhere
+// in the file for a file-wide waiver.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kdlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "R1".."R5"
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;  // inline reason text or "baseline"
+};
+
+struct Options {
+  // Rules to run (empty = all).
+  std::set<std::string> rules;
+  // With repo scoping on, each rule only applies to its home layers
+  // (R1-R4: src/ outside src/sim/ for R1; R5: controllers/ and faas/).
+  // Off (the default) every rule runs on every input file — that is
+  // what the fixture tests exercise.
+  bool repo_scope = false;
+  // Report suppressed findings too (they never affect the exit code).
+  bool show_suppressed = false;
+  // Baseline entries ("file:line:rule") that demote matching findings
+  // to suppressed. Transitional tool only; see LINT.md.
+  std::set<std::string> baseline;
+};
+
+// Per-file suppression state parsed from raw source lines.
+struct Suppressions {
+  // line -> rules allowed on that line (an entry covering line N also
+  // covers findings reported on line N when the comment sits on N-1).
+  std::map<int, std::set<std::string>> by_line;
+  std::map<int, std::string> reason_by_line;
+  std::set<std::string> whole_file;
+  std::string whole_file_reason;
+
+  // Applies suppression state to `f`, setting suppressed/reason.
+  void Apply(Finding& f) const;
+};
+
+Suppressions ParseSuppressions(const std::string& source);
+
+// Runs all (selected) token-mode rules over one file. `sibling_header`
+// is the text of the paired .h for a .cc input ("" if none): R5 needs
+// it to learn member declarations that live in the header.
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& source,
+                                   const std::string& sibling_header,
+                                   const Options& opts);
+
+// True if `rule` applies to `path` under --repo-scope (always true
+// when repo scoping is off).
+bool RuleAppliesTo(const Options& opts, const std::string& rule,
+                   const std::string& path);
+
+// JSON-escapes a string body (no surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+// One finding as a single-line JSON object (stable field order; the
+// test suite and CI log scrapers rely on one-object-per-line).
+std::string ToJson(const Finding& f);
+
+#if defined(KDLINT_HAVE_LIBCLANG)
+// AST-accurate backend over compile_commands.json. Returns false (with
+// a message on stderr) if the compilation database cannot be loaded.
+bool RunClangMode(const std::vector<std::string>& files,
+                  const std::string& compile_commands_dir,
+                  const Options& opts, std::vector<Finding>& out);
+#endif
+
+}  // namespace kdlint

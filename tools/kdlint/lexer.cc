@@ -1,0 +1,181 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace kdlint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;  // line continuation
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        SkipPreprocessorLine();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && pos_ + 1 < s_.size()) {
+        if (s_[pos_ + 1] == '/') {
+          SkipToLineEnd();
+          continue;
+        }
+        if (s_[pos_ + 1] == '*') {
+          SkipBlockComment();
+          continue;
+        }
+      }
+      if (c == 'R' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '"' &&
+          !PrevIsIdentChar()) {
+        LexRawString();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        LexQuoted(c);
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdent();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        LexNumber();
+        continue;
+      }
+      out_.push_back({TokKind::kPunct, std::string(1, c), line_});
+      ++pos_;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool PrevIsIdentChar() const {
+    return pos_ > 0 && IsIdentChar(s_[pos_ - 1]);
+  }
+
+  void SkipToLineEnd() {
+    while (pos_ < s_.size() && s_[pos_] != '\n') ++pos_;
+  }
+
+  void SkipPreprocessorLine() {
+    // Honor backslash continuations so multi-line macros stay skipped.
+    while (pos_ < s_.size() && s_[pos_] != '\n') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  void SkipBlockComment() {
+    pos_ += 2;
+    while (pos_ < s_.size()) {
+      if (s_[pos_] == '\n') ++line_;
+      if (s_[pos_] == '*' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void LexQuoted(char quote) {
+    const std::size_t start = pos_;
+    const int start_line = line_;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != quote) {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        if (s_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (s_[pos_] == '\n') {
+        // Unterminated literal; stop at the line break rather than
+        // swallowing the rest of the file.
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == quote) ++pos_;
+    out_.push_back(
+        {TokKind::kString, s_.substr(start, pos_ - start), start_line});
+  }
+
+  void LexRawString() {
+    const std::size_t start = pos_;
+    const int start_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < s_.size() && s_[pos_] != '(') delim += s_[pos_++];
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = s_.find(closer, pos_);
+    if (end == std::string::npos) {
+      pos_ = s_.size();
+    } else {
+      for (std::size_t i = pos_; i < end; ++i) {
+        if (s_[i] == '\n') ++line_;
+      }
+      pos_ = end + closer.size();
+    }
+    out_.push_back(
+        {TokKind::kString, s_.substr(start, pos_ - start), start_line});
+  }
+
+  void LexIdent() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && IsIdentChar(s_[pos_])) ++pos_;
+    out_.push_back({TokKind::kIdent, s_.substr(start, pos_ - start), line_});
+  }
+
+  void LexNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (IsIdentChar(s_[pos_]) || s_[pos_] == '.' ||
+            ((s_[pos_] == '+' || s_[pos_] == '-') && pos_ > start &&
+             (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E' ||
+              s_[pos_ - 1] == 'p' || s_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    out_.push_back({TokKind::kNumber, s_.substr(start, pos_ - start), line_});
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  return Scanner(source).Run();
+}
+
+}  // namespace kdlint

@@ -1,0 +1,502 @@
+// Token-mode implementations of R1-R5 plus suppression handling.
+//
+// The analyses are deliberately structural rather than semantic: each
+// rule keys off token patterns that are unambiguous in this codebase's
+// idiom (see LINT.md for what each rule intentionally does and does
+// not catch). Where a rule needs declaration context that lives in a
+// paired header (R2/R5 receiver types for members of a .cc's class),
+// the caller passes the sibling header text and we harvest
+// declarations from it without emitting findings for it — the header
+// is swept as its own input file.
+#include "kdlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "lexer.h"
+
+namespace kdlint {
+namespace {
+
+const std::set<std::string>& UnorderedContainers() {
+  static const std::set<std::string> kSet = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kSet;
+}
+
+const std::set<std::string>& OrderedContainers() {
+  static const std::set<std::string> kSet = {"map", "set", "multimap",
+                                             "multiset", "priority_queue"};
+  return kSet;
+}
+
+// R1: ambient-nondeterminism sources. Each of these injects host state
+// (wall clock, entropy, environment) that differs run to run.
+const std::set<std::string>& BannedIdents() {
+  static const std::set<std::string> kSet = {
+      "system_clock",   "steady_clock", "high_resolution_clock",
+      "random_device",  "gettimeofday", "clock_gettime",
+      "localtime",      "localtime_r",  "gmtime",
+      "mktime",         "getenv",       "setenv",
+      "srand",          "rand",         "drand48",
+      "random_shuffle", "sleep_for",    "sleep_until",
+      "nanosleep",      "usleep"};
+  return kSet;
+}
+
+// R2/R4: calls through which iteration order or a closure escapes into
+// the event schedule or onto the wire.
+const std::set<std::string>& OrderEscapingCalls() {
+  static const std::set<std::string> kSet = {
+      "ScheduleAt", "ScheduleAfter", "Schedule",    "Send",
+      "Enqueue",    "EnqueueAfter",  "Create",      "Update",
+      "Delete",     "Upsert",        "Remove",      "MarkInvalid",
+      "DropInvalid", "Publish",      "Emit",        "Push",
+      "Dispatch"};
+  return kSet;
+}
+
+const std::set<std::string>& ScheduleEntryPoints() {
+  static const std::set<std::string> kSet = {"ScheduleAt", "ScheduleAfter",
+                                             "Schedule"};
+  return kSet;
+}
+
+// R5: ObjectCache mutators a policy class must not call directly.
+const std::set<std::string>& CacheMutators() {
+  static const std::set<std::string> kSet = {"Upsert", "Remove", "MarkInvalid",
+                                             "DropInvalid", "Clear"};
+  return kSet;
+}
+
+bool ContainsNoCase(const std::string& haystack, const std::string& needle) {
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end(), [](char a, char b) {
+                          return std::tolower(static_cast<unsigned char>(a)) ==
+                                 std::tolower(static_cast<unsigned char>(b));
+                        });
+  return it != haystack.end();
+}
+
+using Tokens = std::vector<Token>;
+
+bool Is(const Tokens& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+// Index of the matching closer for the opener at `i`, or t.size().
+std::size_t MatchForward(const Tokens& t, std::size_t i, const char* open,
+                         const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+// Matches the template argument list opened by `<` at index `i`.
+// Counts only angle tokens; `>>` lexes as two `>` so nested closers
+// work. `->` inside a template argument list would miscount, but no
+// type expression in this codebase (or any sane one) contains one.
+std::size_t MatchAngle(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">" && --depth == 0) return j;
+    // A statement terminator inside an "argument list" means this `<`
+    // was a comparison after all; bail out.
+    if (t[j].text == ";" || t[j].text == "{") return t.size();
+  }
+  return t.size();
+}
+
+// Declaration facts harvested from one token stream.
+struct Decls {
+  std::set<std::string> unordered_vars;  // names with unordered_* type
+  std::set<std::string> cache_vars;      // names with ObjectCache type
+};
+
+// Scans container/ObjectCache declarations. Emits R3 findings into
+// `out` when it is non-null (null for sibling-header harvesting).
+void ScanDecls(const std::string& path, const Tokens& t, Decls& decls,
+               std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const bool unordered = UnorderedContainers().count(t[i].text) > 0;
+    const bool ordered = OrderedContainers().count(t[i].text) > 0;
+    if (unordered || ordered) {
+      if (!Is(t, i + 1, "<")) continue;
+      const std::size_t close = MatchAngle(t, i + 1);
+      if (close == t.size()) continue;
+      // First template argument: tokens at angle depth 1 up to the
+      // first comma (or the closer, for sets).
+      std::size_t arg_end = close;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].kind != TokKind::kPunct) continue;
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") --depth;
+        if (t[j].text == "," && depth == 1) {
+          arg_end = j;
+          break;
+        }
+      }
+      if (out != nullptr && arg_end > i + 2 && Is(t, arg_end - 1, "*")) {
+        out->push_back(
+            {path, t[i].line, "R3",
+             "container '" + t[i].text +
+                 "' is keyed by a pointer; pointer values differ across "
+                 "runs, so any order or hash derived from them is "
+                 "nondeterministic - key by a stable id instead",
+             false,
+             ""});
+      }
+      // Variable name, if this is a declaration: skip cv/ref tokens
+      // after the closing `>`.
+      std::size_t j = close + 1;
+      while (j < t.size() &&
+             (Is(t, j, "&") || Is(t, j, "*") || t[j].text == "const")) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == TokKind::kIdent && unordered) {
+        decls.unordered_vars.insert(t[j].text);
+      }
+      i = close;
+      continue;
+    }
+    if (t[i].text == "ObjectCache") {
+      std::size_t j = i + 1;
+      while (j < t.size() &&
+             (Is(t, j, "&") || Is(t, j, "*") || t[j].text == "const")) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == TokKind::kIdent) {
+        decls.cache_vars.insert(t[j].text);
+      }
+    }
+  }
+}
+
+// R1 over one token stream.
+void RunR1(const std::string& path, const Tokens& t,
+           std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& id = t[i].text;
+    bool hit = BannedIdents().count(id) > 0;
+    // `time` is too common a word to ban outright; flag the function
+    // call forms `std::time(...)` / `::time(...)`.
+    if (!hit && id == "time" && Is(t, i + 1, "(") && i >= 2 &&
+        Is(t, i - 1, ":") && Is(t, i - 2, ":")) {
+      hit = true;
+    }
+    if (!hit) continue;
+    // Member accesses (`foo.rand()`) are somebody else's rand.
+    if (i >= 1 && (Is(t, i - 1, ".") ||
+                   (i >= 2 && Is(t, i - 1, ">") && Is(t, i - 2, "-")))) {
+      continue;
+    }
+    out.push_back({path, t[i].line, "R1",
+                   "nondeterministic source '" + id +
+                       "' (wall clock / ambient entropy) - product code "
+                       "must use sim::Engine::now() and kd::Rng so runs "
+                       "stay bit-reproducible",
+                   false,
+                   ""});
+  }
+}
+
+// Returns the index one past the end of the statement or block that
+// starts at `i` (the loop body).
+std::size_t BodyEnd(const Tokens& t, std::size_t i) {
+  if (Is(t, i, "{")) {
+    const std::size_t close = MatchForward(t, i, "{", "}");
+    return close == t.size() ? close : close + 1;
+  }
+  int paren = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "(") ++paren;
+    if (t[j].text == ")") --paren;
+    if (t[j].text == ";" && paren == 0) return j + 1;
+  }
+  return t.size();
+}
+
+// R2 over one token stream, using unordered var names from `decls`.
+void RunR2(const std::string& path, const Tokens& t, const Decls& decls,
+           std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].kind == TokKind::kIdent && t[i].text == "for" &&
+          Is(t, i + 1, "("))) {
+      continue;
+    }
+    const std::size_t close = MatchForward(t, i + 1, "(", ")");
+    if (close == t.size()) continue;
+    // Does the loop header iterate an unordered container? Range-for:
+    // an unordered name (or unordered_* type of a temporary) appears
+    // after the depth-1 `:`. Iterator loop: `x.begin()`/`x.cbegin()`
+    // with x unordered. Checking the whole header for either pattern
+    // keeps this robust to both forms.
+    std::string culprit;
+    for (std::size_t j = i + 2; j < close && culprit.empty(); ++j) {
+      if (t[j].kind != TokKind::kIdent) continue;
+      if (decls.unordered_vars.count(t[j].text) > 0) culprit = t[j].text;
+      if (UnorderedContainers().count(t[j].text) > 0) culprit = t[j].text;
+    }
+    if (culprit.empty()) continue;
+    const std::size_t body_end = BodyEnd(t, close + 1);
+    for (std::size_t j = close + 1; j < body_end; ++j) {
+      if (t[j].kind == TokKind::kIdent &&
+          OrderEscapingCalls().count(t[j].text) > 0 && Is(t, j + 1, "(")) {
+        out.push_back(
+            {path, t[i].line, "R2",
+             "iteration over unordered container '" + culprit +
+                 "' calls '" + t[j].text +
+                 "' - hash-table order escapes into event/wire order; "
+                 "iterate an ordered container or a sorted snapshot",
+             false,
+             ""});
+        break;
+      }
+    }
+  }
+}
+
+// R4 over one token stream.
+void RunR4(const std::string& path, const Tokens& t,
+           std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].kind == TokKind::kIdent &&
+          ScheduleEntryPoints().count(t[i].text) > 0 && Is(t, i + 1, "("))) {
+      continue;
+    }
+    const std::size_t close = MatchForward(t, i + 1, "(", ")");
+    for (std::size_t j = i + 2; j < close; ++j) {
+      // Lambda introducer: `[` in argument position.
+      if (!Is(t, j, "[") || !(Is(t, j - 1, "(") || Is(t, j - 1, ","))) {
+        continue;
+      }
+      const std::size_t cap_end = MatchForward(t, j, "[", "]");
+      for (std::size_t k = j + 1; k < cap_end; ++k) {
+        // A blanket `&` capture-default: `&` directly followed by `]`
+        // or `,` (explicit `&name` captures are fine).
+        if (Is(t, k, "&") && (k + 1 == cap_end || Is(t, k + 1, ","))) {
+          out.push_back(
+              {path, t[k].line, "R4",
+               "closure passed to '" + t[i].text +
+                   "' captures by blanket reference [&] - locals it "
+                   "captures are dead by the time the event fires; "
+                   "capture explicitly by value (guard re-entrancy with "
+                   "an epoch or EventId)",
+               false,
+               ""});
+          break;
+        }
+      }
+    }
+  }
+}
+
+// R5 over one token stream, using cache var names from `decls`.
+void RunR5(const std::string& path, const Tokens& t, const Decls& decls,
+           std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const bool known_cache = decls.cache_vars.count(t[i].text) > 0;
+    // Fallback for receivers whose declaration we cannot see (e.g. a
+    // member of a base class): anything *named* like a cache.
+    const bool named_cache = ContainsNoCase(t[i].text, "cache");
+    if (!known_cache && !named_cache) continue;
+    std::size_t j = i + 1;
+    if (Is(t, j, ".")) {
+      ++j;
+    } else if (Is(t, j, "-") && Is(t, j + 1, ">")) {
+      j += 2;
+    } else {
+      continue;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent &&
+        CacheMutators().count(t[j].text) > 0 && Is(t, j + 1, "(")) {
+      out.push_back(
+          {path, t[j].line, "R5",
+           "policy class mutates ObjectCache '" + t[i].text + "' via '" +
+               t[j].text +
+               "' - object mutations must flow through runtime::ApiClient "
+               "or a harness seam (annotate deliberate ingress/"
+               "write-through paths with kdlint: allow(R5))",
+           false,
+           ""});
+    }
+  }
+}
+
+}  // namespace
+
+void Suppressions::Apply(Finding& f) const {
+  if (whole_file.count(f.rule) > 0) {
+    f.suppressed = true;
+    f.suppress_reason = whole_file_reason;
+    return;
+  }
+  auto it = by_line.find(f.line);
+  if (it != by_line.end() && it->second.count(f.rule) > 0) {
+    f.suppressed = true;
+    auto rit = reason_by_line.find(f.line);
+    if (rit != reason_by_line.end()) f.suppress_reason = rit->second;
+  }
+}
+
+Suppressions ParseSuppressions(const std::string& source) {
+  Suppressions sup;
+  std::istringstream stream(source);
+  std::string raw;
+  int line = 0;
+  while (std::getline(stream, raw)) {
+    ++line;
+    const std::size_t marker = raw.find("kdlint:");
+    if (marker == std::string::npos) continue;
+    std::size_t p = raw.find_first_not_of(' ', marker + 7);
+    if (p == std::string::npos) continue;
+    bool file_wide = false;
+    if (raw.compare(p, 11, "allow-file(") == 0) {
+      file_wide = true;
+      p += 11;
+    } else if (raw.compare(p, 6, "allow(") == 0) {
+      p += 6;
+    } else {
+      continue;
+    }
+    const std::size_t close = raw.find(')', p);
+    if (close == std::string::npos) continue;
+    std::set<std::string> rules;
+    std::string rule;
+    for (std::size_t q = p; q <= close; ++q) {
+      if (q == close || raw[q] == ',') {
+        if (!rule.empty()) rules.insert(rule);
+        rule.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(raw[q]))) {
+        rule += raw[q];
+      }
+    }
+    std::string reason = raw.substr(close + 1);
+    const std::size_t first = reason.find_first_not_of(" \t");
+    reason = first == std::string::npos ? "" : reason.substr(first);
+    if (file_wide) {
+      sup.whole_file.insert(rules.begin(), rules.end());
+      sup.whole_file_reason = reason;
+      continue;
+    }
+    // The comment covers its own line; a comment-only line also covers
+    // the line below it.
+    const std::size_t comment = raw.find("//");
+    const bool own_line =
+        comment != std::string::npos &&
+        raw.find_first_not_of(" \t") == comment;
+    for (const std::string& r : rules) {
+      sup.by_line[line].insert(r);
+      if (own_line) sup.by_line[line + 1].insert(r);
+    }
+    sup.reason_by_line[line] = reason;
+    if (own_line) sup.reason_by_line[line + 1] = reason;
+  }
+  return sup;
+}
+
+bool RuleAppliesTo(const Options& opts, const std::string& rule,
+                   const std::string& path) {
+  if (!opts.repo_scope) return true;
+  auto under = [&path](const char* dir) {
+    const std::string d(dir);
+    return path.rfind(d, 0) == 0 || path.find("/" + d) != std::string::npos;
+  };
+  if (!under("src/")) return false;       // tests/bench own their idioms
+  if (rule == "R1") return !under("src/sim/");  // the engine owns time
+  if (rule == "R5") return under("src/controllers/") || under("src/faas/");
+  return true;
+}
+
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& source,
+                                   const std::string& sibling_header,
+                                   const Options& opts) {
+  const Tokens toks = Lex(source);
+  Decls decls;
+  if (!sibling_header.empty()) {
+    const Tokens sib = Lex(sibling_header);
+    ScanDecls(path, sib, decls, /*out=*/nullptr);
+  }
+
+  std::vector<Finding> out;
+  auto want = [&opts, &path](const char* rule) {
+    return (opts.rules.empty() || opts.rules.count(rule) > 0) &&
+           RuleAppliesTo(opts, rule, path);
+  };
+
+  // Declaration scan always runs (R2/R5 need the names); R3 findings
+  // are dropped afterwards if the rule is off for this file.
+  std::vector<Finding> r3;
+  ScanDecls(path, toks, decls, &r3);
+  if (want("R3")) out.insert(out.end(), r3.begin(), r3.end());
+  if (want("R1")) RunR1(path, toks, out);
+  if (want("R2")) RunR2(path, toks, decls, out);
+  if (want("R4")) RunR4(path, toks, out);
+  if (want("R5")) RunR5(path, toks, decls, out);
+
+  const Suppressions sup = ParseSuppressions(source);
+  for (Finding& f : out) {
+    sup.Apply(f);
+    if (!f.suppressed &&
+        opts.baseline.count(f.file + ":" + std::to_string(f.line) + ":" +
+                            f.rule) > 0) {
+      f.suppressed = true;
+      f.suppress_reason = "baseline";
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const Finding& f) {
+  std::string out = "{\"file\":\"" + JsonEscape(f.file) + "\"";
+  out += ",\"line\":" + std::to_string(f.line);
+  out += ",\"rule\":\"" + f.rule + "\"";
+  out += ",\"message\":\"" + JsonEscape(f.message) + "\"";
+  out += std::string(",\"suppressed\":") + (f.suppressed ? "true" : "false");
+  out += ",\"reason\":\"" + JsonEscape(f.suppress_reason) + "\"}";
+  return out;
+}
+
+}  // namespace kdlint
