@@ -67,8 +67,11 @@ void ApiServer::Broadcast(WatchEventType type, const model::ApiObject& obj) {
                               cost_.serialize_ns_per_byte);
     WatchCallback cb = watcher.cb;
     WatchEvent event{type, obj};
-    engine_.ScheduleAfter(delay, [cb = std::move(cb),
+    const std::uint64_t epoch = epoch_;
+    engine_.ScheduleAfter(delay, [this, epoch, cb = std::move(cb),
                                   event = std::move(event)]() mutable {
+      // Deliveries in flight at crash time die with the stream.
+      if (epoch != epoch_) return;
       cb(event);
     });
     metrics_.Count("watch_events");
@@ -78,6 +81,18 @@ void ApiServer::Broadcast(WatchEventType type, const model::ApiObject& obj) {
 void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
                       bool is_write, std::function<CommitResult()> commit,
                       std::function<void(CommitResult)> respond) {
+  if (!up_) {
+    // Dead server: the request neither queues nor commits — it hangs
+    // until the client-side per-attempt deadline expires.
+    metrics_.Count("api_deadline_exceeded");
+    engine_.ScheduleAfter(cost_.api_request_deadline,
+                          [respond = std::move(respond)]() mutable {
+                            respond({DeadlineExceededError(
+                                         "API server unavailable"),
+                                     {}});
+                          });
+    return;
+  }
   metrics_.Count(is_write ? "api_writes" : "api_reads");
   metrics_.Count("api_bytes_in", static_cast<std::int64_t>(request_bytes));
   const Time arrival = engine_.now();
@@ -88,9 +103,17 @@ void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
                             cost_.serialize_ns_per_byte);
   const Time service_done = AcquireWorker(service);
 
-  auto finish = [this, arrival, response_bytes,
-                 respond = std::move(respond)](CommitResult result,
-                                               Time commit_done) {
+  // Registered until the response is delivered; Crash() fails every
+  // registered request and bumps the epoch, which disarms the closures
+  // below (queued service work and in-flight responses die with the
+  // process — only the failure from Crash() reaches the client).
+  auto respond_shared = std::make_shared<RespondFn>(std::move(respond));
+  const std::uint64_t id = next_request_id_++;
+  const std::uint64_t epoch = epoch_;
+  pending_.emplace(id, respond_shared);
+
+  auto finish = [this, id, epoch, arrival, response_bytes,
+                 respond_shared](CommitResult result, Time commit_done) {
     const Duration response_ser = static_cast<Duration>(
         static_cast<double>(response_bytes) * cost_.serialize_ns_per_byte);
     const Time respond_at =
@@ -98,18 +121,21 @@ void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
     metrics_.Count("api_bytes_out",
                    static_cast<std::int64_t>(response_bytes));
     engine_.ScheduleAt(respond_at,
-                       [this, arrival, respond = std::move(respond),
+                       [this, id, epoch, arrival, respond_shared,
                         result = std::move(result)]() mutable {
+                         if (epoch != epoch_) return;
+                         pending_.erase(id);
                          metrics_.RecordDuration("api_call_latency",
                                                  engine_.now() - arrival);
-                         respond(std::move(result));
+                         (*respond_shared)(std::move(result));
                        });
   };
 
   engine_.ScheduleAt(
       service_done,
-      [this, is_write, commit = std::move(commit),
+      [this, epoch, is_write, commit = std::move(commit),
        finish = std::move(finish)]() mutable {
+        if (epoch != epoch_) return;  // died before servicing: no commit
         CommitResult result = commit();
         Time done = engine_.now();
         if (is_write && result.status.ok()) {
@@ -117,6 +143,46 @@ void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
         }
         finish(std::move(result), done);
       });
+}
+
+void ApiServer::Crash() {
+  if (!up_) return;
+  up_ = false;
+  ++epoch_;
+  outage_started_at_ = engine_.now();
+  metrics_.Count("apiserver.crashes");
+  // Every in-flight request fails fast — the TCP connections reset, so
+  // clients learn after one network latency, not a full deadline.
+  for (auto& [id, respond] : pending_) {
+    (void)id;
+    engine_.ScheduleAfter(
+        cost_.api_network_latency, [respond]() {
+          (*respond)({UnavailableError("API server crashed"), {}});
+        });
+  }
+  pending_.clear();
+  // Watch streams die; subscribers that registered a break handler
+  // learn after the delivery latency and must re-list on reconnect.
+  for (auto& [id, watcher] : watchers_) {
+    (void)id;
+    if (!watcher.on_break) continue;
+    engine_.ScheduleAfter(cost_.watch_delivery_latency,
+                          [cb = watcher.on_break] { cb(); });
+  }
+  watchers_.clear();
+}
+
+void ApiServer::Restart() {
+  if (up_) return;
+  up_ = true;
+  const Duration outage = engine_.now() - outage_started_at_;
+  outage_total_ += outage;
+  metrics_.RecordValue("apiserver.outage_seconds", ToSeconds(outage));
+  metrics_.Count("apiserver.restarts");
+  // Fresh process over the persisted store: empty worker pool, empty
+  // etcd pipeline, no watchers. store_/revision_ replay from etcd.
+  std::fill(worker_free_.begin(), worker_free_.end(), Time{0});
+  etcd_free_ = 0;
 }
 
 void ApiServer::HandleCreate(
@@ -235,6 +301,17 @@ void ApiServer::HandleGet(
 void ApiServer::HandleList(
     const std::string& kind,
     std::function<void(StatusOr<std::vector<model::ApiObject>>)> done) {
+  HandleListAt(kind,
+               [done = std::move(done)](
+                   StatusOr<std::vector<model::ApiObject>> result,
+                   std::uint64_t) mutable { done(std::move(result)); });
+}
+
+void ApiServer::HandleListAt(
+    const std::string& kind,
+    std::function<void(StatusOr<std::vector<model::ApiObject>>,
+                       std::uint64_t)>
+        done) {
   // Response size is the whole collection — the expensive part of a
   // relist, which is why informers avoid them.
   std::size_t response_bytes = 64;
@@ -244,34 +321,36 @@ void ApiServer::HandleList(
   // Snapshot at commit time (server-side), deliver after response
   // latency; the snapshot is shared between the two closures.
   auto snapshot = std::make_shared<std::vector<model::ApiObject>>();
+  auto at_revision = std::make_shared<std::uint64_t>(0);
   Serve(
       kind.size() + 64, response_bytes, /*is_write=*/false,
-      [this, kind, snapshot]() -> CommitResult {
+      [this, kind, snapshot, at_revision]() -> CommitResult {
         for (const auto& [key, obj] : store_) {
           if (obj.kind == kind) snapshot->push_back(obj);
         }
+        *at_revision = revision_;
         return {OkStatus(), {}};
       },
-      [snapshot, done = std::move(done)](CommitResult r) {
+      [snapshot, at_revision, done = std::move(done)](CommitResult r) {
         if (!r.status.ok()) {
-          done(r.status);
+          done(r.status, *at_revision);
           return;
         }
-        done(std::move(*snapshot));
+        done(std::move(*snapshot), *at_revision);
       });
 }
 
 WatchId ApiServer::Watch(const std::string& kind, WatchCallback cb) {
-  const WatchId id = next_watch_id_++;
-  watchers_[id] = Watcher{kind, nullptr, std::move(cb)};
-  return id;
+  return Watch(kind, nullptr, std::move(cb), nullptr);
 }
 
 WatchId ApiServer::Watch(const std::string& kind,
                          std::function<bool(const model::ApiObject&)> filter,
-                         WatchCallback cb) {
+                         WatchCallback cb, WatchBreakCallback on_break) {
+  if (!up_) return 0;  // nothing to connect to; caller retries
   const WatchId id = next_watch_id_++;
-  watchers_[id] = Watcher{kind, std::move(filter), std::move(cb)};
+  watchers_[id] =
+      Watcher{kind, std::move(filter), std::move(cb), std::move(on_break)};
   return id;
 }
 
@@ -288,6 +367,15 @@ std::vector<const model::ApiObject*> ApiServer::PeekAll(
   std::vector<const model::ApiObject*> out;
   for (const auto& [key, obj] : store_) {
     if (obj.kind == kind) out.push_back(&obj);
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> ApiServer::VersionMap(
+    const std::string& kind) const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [key, obj] : store_) {
+    if (obj.kind == kind) out.emplace(key, obj.resource_version);
   }
   return out;
 }

@@ -42,6 +42,9 @@ struct WatchEvent {
 };
 
 using WatchCallback = std::function<void(const WatchEvent&)>;
+// Invoked once when the server crashes and the watch stream dies; the
+// subscriber must re-Watch (and re-list) after the server returns.
+using WatchBreakCallback = std::function<void()>;
 using WatchId = std::uint64_t;
 
 enum class AdmissionOp { kCreate, kUpdate, kDelete };
@@ -73,18 +76,45 @@ class ApiServer {
   void HandleList(
       const std::string& kind,
       std::function<void(StatusOr<std::vector<model::ApiObject>>)> done);
+  // List that also reports the store revision the snapshot was taken
+  // at — what a reflector needs to diff a relist against its cache
+  // (absence of a key with revision <= the snapshot's means deleted).
+  // Costs exactly what HandleList costs.
+  void HandleListAt(
+      const std::string& kind,
+      std::function<void(StatusOr<std::vector<model::ApiObject>>,
+                         std::uint64_t revision)>
+          done);
 
   // --- watch ------------------------------------------------------------
   // Registration is free (control-plane setup); events are delivered
   // with watch_delivery_latency, in commit order per watcher.
+  // Returns 0 (no registration) while the server is down.
   WatchId Watch(const std::string& kind, WatchCallback cb);
   // Server-side filtered watch (field selectors — how each Kubelet
   // subscribes to only the Pods bound to its node). Delete events are
   // matched against the last state, which carried the field.
+  // `on_break` (optional) fires when the server crashes and the stream
+  // dies with it.
   WatchId Watch(const std::string& kind,
                 std::function<bool(const model::ApiObject&)> filter,
-                WatchCallback cb);
+                WatchCallback cb, WatchBreakCallback on_break = nullptr);
   void Unwatch(WatchId id);
+
+  // --- fault injection ------------------------------------------------
+  // Crash(): the process dies. Every in-flight request fails with
+  // kUnavailable (the client's connection resets), every watch breaks
+  // (on_break fires after the delivery latency), queued work is lost.
+  // The etcd store — every *committed* write, with its
+  // resourceVersions — survives. Requests arriving while down hang
+  // until the client-side api_request_deadline, then fail with
+  // kDeadlineExceeded. Restart() brings a fresh process up over the
+  // persisted store; watchers must re-subscribe.
+  void Crash();
+  void Restart();
+  bool up() const { return up_; }
+  // Cumulative time spent down (closed outages only).
+  Duration outage_total() const { return outage_total_; }
 
   // --- admission ----------------------------------------------------------
   void AddAdmissionHook(AdmissionHook hook) {
@@ -95,6 +125,10 @@ class ApiServer {
   const model::ApiObject* Peek(const std::string& kind,
                                const std::string& name) const;
   std::vector<const model::ApiObject*> PeekAll(const std::string& kind) const;
+  // key -> committed resource version for `kind` — the ground truth an
+  // informer cache must reconverge to after an outage.
+  std::map<std::string, std::uint64_t> VersionMap(
+      const std::string& kind) const;
   std::size_t object_count() const { return store_.size(); }
   // Writes without cost or admission — test setup only.
   void SeedObject(model::ApiObject obj);
@@ -103,11 +137,15 @@ class ApiServer {
   const CostModel& cost() const { return cost_; }
   sim::Engine& engine() { return engine_; }
 
+  // Current store revision (tests/benches; charges nothing).
+  std::uint64_t revision() const { return revision_; }
+
  private:
   struct CommitResult {
     Status status;
     model::ApiObject object;  // committed version (valid when status ok)
   };
+  using RespondFn = std::function<void(CommitResult)>;
 
   // Schedules request service through the worker pool; `service_extra`
   // is charged inside the worker on top of base processing +
@@ -138,9 +176,22 @@ class ApiServer {
     std::string kind;
     std::function<bool(const model::ApiObject&)> filter;  // may be null
     WatchCallback cb;
+    WatchBreakCallback on_break;  // may be null
   };
   std::map<WatchId, Watcher> watchers_;
   WatchId next_watch_id_ = 1;
+
+  // --- fault-domain state ---------------------------------------------
+  // Crash epoch: closures belonging to the pre-crash process check it
+  // and abort, so queued service/response events die with the server.
+  bool up_ = true;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  // In-flight requests (arrival .. response delivery), failed in id
+  // order on Crash().
+  std::map<std::uint64_t, std::shared_ptr<RespondFn>> pending_;
+  Time outage_started_at_ = 0;
+  Duration outage_total_ = 0;
 
   std::vector<AdmissionHook> admission_hooks_;
   MetricsRecorder metrics_;

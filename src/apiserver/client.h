@@ -5,6 +5,14 @@
 //   3. network latency to the API server;
 // then hands the request to ApiServer, which charges its own queueing,
 // etcd, and response costs before invoking the callback.
+//
+// Fault handling mirrors client-go: transport-level failures
+// (kUnavailable from a crashed server, kDeadlineExceeded from one that
+// is still down) are retried with capped exponential backoff and
+// deterministic jitter drawn from the simulation engine's seeded RNG —
+// never from ambient entropy (kdlint R1). Application-level outcomes
+// (Conflict, NotFound, AlreadyExists, admission rejections) pass
+// through untouched: they are the controller's business.
 #pragma once
 
 #include <functional>
@@ -19,6 +27,25 @@
 
 namespace kd::apiserver {
 
+// Capped exponential backoff for transport-level API failures. Each
+// retry re-pays the client's rate limiter, serialization, and network
+// costs (it is a full new request).
+struct RetryPolicy {
+  // Total attempts, including the first (1 = no retries).
+  int max_attempts = 6;
+  // Delay before retry n is min(max_backoff, initial_backoff * 2^(n-1))
+  // scaled by a jitter factor in [1 - jitter, 1 + jitter].
+  Duration initial_backoff = Milliseconds(500);
+  Duration max_backoff = Seconds(8);
+  double jitter = 0.2;
+
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
 class ApiClient {
  public:
   // qps/burst: this client's flowcontrol settings (controllers and
@@ -26,9 +53,11 @@ class ApiClient {
   // `metrics` (optional) receives "<client_name>.active" busy time: the
   // union of intervals with requests outstanding (queued in the rate
   // limiter, on the wire, or being served) — the isolated stage time of
-  // the paper's breakdown figures.
+  // the paper's breakdown figures — plus the retry counters
+  // "client.<client_name>.{retries,giveups,deadline_exceeded}_total".
   ApiClient(sim::Engine& engine, ApiServer& server, std::string client_name,
-            double qps, double burst, MetricsRecorder* metrics = nullptr);
+            double qps, double burst, MetricsRecorder* metrics = nullptr,
+            RetryPolicy retry = {});
 
   void Create(model::ApiObject obj,
               std::function<void(StatusOr<model::ApiObject>)> done);
@@ -40,10 +69,16 @@ class ApiClient {
            std::function<void(StatusOr<model::ApiObject>)> done);
   void List(const std::string& kind,
             std::function<void(StatusOr<std::vector<model::ApiObject>>)> done);
+  // List carrying the snapshot's store revision (reflector relists).
+  void ListAt(const std::string& kind,
+              std::function<void(StatusOr<std::vector<model::ApiObject>>,
+                                 std::uint64_t revision)>
+                  done);
 
   const std::string& name() const { return name_; }
   TokenBucket& limiter() { return limiter_; }
-  // API calls issued (post rate limiting).
+  const RetryPolicy& retry_policy() const { return retry_; }
+  // API calls issued (post rate limiting), including retries.
   std::uint64_t calls_issued() const { return calls_issued_; }
 
  private:
@@ -51,11 +86,62 @@ class ApiClient {
   // runs `send` (which must invoke an ApiServer handler).
   void Dispatch(std::size_t request_bytes, std::function<void()> send);
 
+  static StatusCode ResultCode(const Status& s) { return s.code(); }
+  template <typename T>
+  static StatusCode ResultCode(const StatusOr<T>& s) {
+    return s.ok() ? StatusCode::kOk : s.status().code();
+  }
+  // Composite results (e.g. list + revision) expose RetryCode().
+  template <typename R>
+  static auto ResultCode(const R& r) -> decltype(r.RetryCode()) {
+    return r.RetryCode();
+  }
+  static bool Retryable(StatusCode code) {
+    return code == StatusCode::kUnavailable ||
+           code == StatusCode::kDeadlineExceeded;
+  }
+
+  void CountFault(const char* which);
+  Duration BackoffDelay(int attempt);
+
+  // Drives `issue` (one full request attempt) until it returns a
+  // non-retryable result or the policy is exhausted. Pure pass-through
+  // on the success path: no extra events, no extra cost.
+  template <typename Result>
+  void RetryCall(std::function<void(std::function<void(Result)>)> issue,
+                 std::function<void(Result)> done, int attempt) {
+    issue([this, issue, done = std::move(done), attempt](
+              Result result) mutable {
+      const StatusCode code = ResultCode(result);
+      if (code == StatusCode::kDeadlineExceeded) {
+        CountFault("deadline_exceeded_total");
+      }
+      if (!Retryable(code)) {
+        done(std::move(result));
+        return;
+      }
+      if (attempt >= retry_.max_attempts) {
+        CountFault("giveups_total");
+        done(std::move(result));
+        return;
+      }
+      CountFault("retries_total");
+      engine_.ScheduleAfter(
+          BackoffDelay(attempt),
+          [this, issue = std::move(issue), done = std::move(done),
+           attempt]() mutable {
+            RetryCall<Result>(std::move(issue), std::move(done), attempt + 1);
+          });
+    });
+  }
+
   sim::Engine& engine_;
   ApiServer& server_;
   std::string name_;
   TokenBucket limiter_;
   ActiveTracker tracker_;
+  MetricsRecorder* metrics_;
+  RetryPolicy retry_;
   std::uint64_t calls_issued_ = 0;
 };
 

@@ -9,6 +9,8 @@ CostModel CostModel::Instant() {
   m.serialize_ns_per_byte = 0;
   m.etcd_persist_latency = 0;
   m.watch_delivery_latency = 0;
+  m.api_request_deadline = 0;
+  m.watch_retry_backoff = 0;
   m.controller_qps = 1e9;
   m.controller_burst = 1e9;
   m.scheduler_qps = 1e9;

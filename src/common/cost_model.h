@@ -40,6 +40,13 @@ struct CostModel {
   int etcd_batch = 8;
   // Latency for delivering one watch notification to a subscriber.
   Duration watch_delivery_latency = MillisecondsF(1.0);
+  // Client-side per-attempt request deadline: a request sent at a dead
+  // (crashed, not-yet-restarted) API server hangs until this expires,
+  // then fails with kDeadlineExceeded (client-go's request timeout).
+  Duration api_request_deadline = Seconds(10);
+  // How long a broken watch / failed relist waits before the informer
+  // tries to re-establish the stream (client-go reflector backoff).
+  Duration watch_retry_backoff = Seconds(1);
 
   // --- client-side rate limits (client-go token bucket) -----------------
   // Stock kube-controller-manager defaults: 20 QPS / 30 burst. The
@@ -106,6 +113,13 @@ struct CostModel {
   Duration endpoints_batch_window = MillisecondsF(100.0);
   // Kd path: the Endpoints controller streams endpoints directly.
   Duration kd_endpoint_stream_latency = MillisecondsF(1.0);
+  // Availability extension (default off so the stock Kd traces are
+  // unchanged): Kubelets additionally stream "endpoint up/down" for
+  // ready pods straight to the Endpoints controller over the network,
+  // so Pod discovery keeps flowing while the API server is down — the
+  // paper's availability argument (§7) made measurable by
+  // bench_outage.
+  bool kd_direct_endpoint_publish = false;
 
   // Dirigent clean-slate control plane: direct RPC to its sandbox
   // managers, centralized in-memory state.

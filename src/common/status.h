@@ -26,6 +26,7 @@ enum class StatusCode {
   kResourceExhausted, // rate limited
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,  // request timed out against a dead/unreachable server
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -82,6 +83,9 @@ inline Status FailedPreconditionError(std::string msg) {
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 // Holds either a value of T or an error Status. Mirrors the subset of

@@ -1,6 +1,7 @@
 #include "controllers/endpoints_controller.h"
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "model/objects.h"
 
 namespace kd::controllers {
@@ -55,10 +56,74 @@ EndpointsController::EndpointsController(runtime::Env& env, Mode mode)
   link.callbacks.on_down = [this] { last_sent_.clear(); };
   harness_.ConnectDownstream(std::move(link));
 
+  harness_.OnStart([this] {
+    if (mode_ != Mode::kKd || !env_.cost.kd_direct_endpoint_publish) return;
+    harness_.endpoint().Listen(
+        [this](net::ConnHandlePtr conn) { AcceptDirectStream(conn); });
+  });
+
   harness_.OnCrash([this] {
     addresses_.clear();
     last_sent_.clear();
+    direct_eps_.clear();
+    direct_conns_.clear();
+    harness_.endpoint().StopListening();
   });
+}
+
+void EndpointsController::AcceptDirectStream(net::ConnHandlePtr conn) {
+  conn->set_on_message([this](std::string payload) {
+    if (!harness_.crashed()) OnDirectMessage(payload);
+  });
+  net::ConnHandle* raw = conn.get();
+  conn->set_on_disconnect([this, raw] {
+    for (auto it = direct_conns_.begin(); it != direct_conns_.end(); ++it) {
+      if (it->get() == raw) {
+        direct_conns_.erase(it);
+        break;
+      }
+    }
+    // The node's announcements stay: its pods are still serving; only
+    // an explicit "reset" (kubelet restart) or informer-observed
+    // deletion withdraws them.
+  });
+  direct_conns_.push_back(std::move(conn));
+}
+
+void EndpointsController::OnDirectMessage(const std::string& payload) {
+  const std::vector<std::string> parts = StrSplit(payload, ' ');
+  if (parts.empty()) return;
+  auto withdraw = [this](const std::string& service, const std::string& ip) {
+    if (addresses_[service].erase(ip) > 0) {
+      harness_.loop().EnqueueAfter(service,
+                                   env_.cost.kd_endpoint_stream_latency);
+    }
+  };
+  if (parts[0] == "up" && parts.size() == 5) {
+    const std::string& node = parts[1];
+    const std::string& pod_key = parts[2];
+    const std::string& service = parts[3];
+    const std::string& ip = parts[4];
+    direct_eps_[node][pod_key] = {service, ip};
+    if (addresses_[service].insert(ip).second) {
+      harness_.loop().EnqueueAfter(service,
+                                   env_.cost.kd_endpoint_stream_latency);
+    }
+  } else if (parts[0] == "down" && parts.size() == 3) {
+    auto node_it = direct_eps_.find(parts[1]);
+    if (node_it == direct_eps_.end()) return;
+    auto pod_it = node_it->second.find(parts[2]);
+    if (pod_it == node_it->second.end()) return;
+    withdraw(pod_it->second.first, pod_it->second.second);
+    node_it->second.erase(pod_it);
+  } else if (parts[0] == "reset" && parts.size() == 2) {
+    auto node_it = direct_eps_.find(parts[1]);
+    if (node_it == direct_eps_.end()) return;
+    for (const auto& [pod_key, entry] : node_it->second) {
+      withdraw(entry.first, entry.second);
+    }
+    direct_eps_.erase(node_it);
+  }
 }
 
 void EndpointsController::OnPodChange(const ApiObject* before,

@@ -39,6 +39,9 @@ class EndpointsController {
 
   // Current ready-address view for `service` (test observability).
   std::vector<std::string> AddressesFor(const std::string& service) const;
+  // Informer-synced Service/Pod view (test observability: the property
+  // walk checks it reconverges to the API server after an outage).
+  const runtime::ObjectCache& cache() const { return cache_; }
 
  private:
   Duration Reconcile(const std::string& service_name);
@@ -46,6 +49,12 @@ class EndpointsController {
   // the service behind the mode's batching window when the set changed.
   void OnPodChange(const model::ApiObject* before,
                    const model::ApiObject* after);
+  // kd_direct_endpoint_publish ingest: "up/down/reset" announcements
+  // streamed straight from kubelets, bypassing the API server — keeps
+  // routing fresh through an API outage. Idempotent against the
+  // informer-fed path (both mutate the same address sets).
+  void AcceptDirectStream(net::ConnHandlePtr conn);
+  void OnDirectMessage(const std::string& payload);
 
   runtime::Env& env_;
   Mode mode_;
@@ -58,6 +67,14 @@ class EndpointsController {
   // Kd: last address list streamed per service (level-triggered resend
   // after link resets).
   std::map<std::string, std::vector<std::string>> last_sent_;
+
+  // Direct-stream bookkeeping: node -> pod key -> (service, ip). A
+  // node's entries are dropped wholesale on its "reset" (new kubelet
+  // incarnation resyncs its full set right after).
+  std::map<std::string,
+           std::map<std::string, std::pair<std::string, std::string>>>
+      direct_eps_;
+  std::vector<net::ConnHandlePtr> direct_conns_;
 };
 
 }  // namespace kd::controllers

@@ -89,6 +89,13 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
   upstream.callbacks.on_tombstone = [this](const std::string& key) {
     Terminate(key, /*notify_upstream=*/true);
   };
+  // Do not serve handshakes until the crash-recovery adopt below has
+  // completed: the version map we answer with must include the
+  // published pods that outlived a restart, or the Scheduler treats
+  // them as gone and tells the ReplicaSet controller to replace pods
+  // that are still running (permanent over-provisioning once the
+  // adopt finally lands).
+  upstream.downstream_first = true;
   harness_.ServeUpstream(std::move(upstream));
 
   harness_.OnStart([this] {
@@ -100,21 +107,7 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
                              node_watch_cache_.Upsert(std::move(*result));
                            }
                          });
-      // Crash recovery: containers of *published* pods outlive a
-      // Kubelet restart (they are real processes); re-adopt them from
-      // the API server. Unpublished pods died with us (the TLA+ spec's
-      // RunningPods' = APIPods).
-      harness_.api().List(
-          kKindPod, [this](StatusOr<std::vector<ApiObject>> result) {
-            if (!result.ok() || harness_.crashed()) return;
-            for (auto& pod : *result) {
-              if (model::GetNodeName(pod) == node_name_) {
-                published_.insert(pod.Key());
-                // kdlint: allow(R5) kubelet-local pod table: fed by the raw watch (K8s) / ingress (Kd), not informer-synced
-                cache_.Upsert(std::move(pod));
-              }
-            }
-          });
+      AdoptPublishedPods();
       return;
     }
     // Adopt pods bound to us that predate the watch (restart path).
@@ -137,7 +130,47 @@ Kubelet::Kubelet(runtime::Env& env, Mode mode, std::string node_name,
     published_.clear();
     materializing_.clear();
     condemned_.clear();
+    ep_stream_.reset();
+    ep_stream_connecting_ = false;
+    ep_announced_.clear();
   });
+}
+
+void Kubelet::AdoptPublishedPods() {
+  // Crash recovery: containers of *published* pods outlive a Kubelet
+  // restart (they are real processes); re-adopt them from the API
+  // server. Unpublished pods died with us (the TLA+ spec's
+  // RunningPods' = APIPods). Only then open the upstream server — a
+  // handshake answered before this completes would miss the survivors.
+  const std::uint64_t session = harness_.session();
+  harness_.api().List(
+      kKindPod,
+      [this, session](StatusOr<std::vector<ApiObject>> result) {
+        if (harness_.crashed() || harness_.session() != session) return;
+        if (!result.ok()) {
+          // API outage outlasted the client's retry budget: the adopt
+          // is a correctness gate, so keep trying for as long as the
+          // incarnation lives.
+          env_.engine.ScheduleAfter(env_.cost.watch_retry_backoff,
+                                    [this, session] {
+                                      if (harness_.crashed() ||
+                                          harness_.session() != session) {
+                                        return;
+                                      }
+                                      AdoptPublishedPods();
+                                    });
+          return;
+        }
+        for (auto& pod : *result) {
+          if (model::GetNodeName(pod) == node_name_) {
+            published_.insert(pod.Key());
+            // kdlint: allow(R5) kubelet-local pod table: fed by the raw watch (K8s) / ingress (Kd), not informer-synced
+            cache_.Upsert(std::move(pod));
+          }
+        }
+        harness_.SetBaselineSynced(true);
+        harness_.MaybeStartUpstream();
+      });
 }
 
 void Kubelet::OnPodMessage(const kubedirect::KdMessage& msg) {
@@ -228,6 +261,15 @@ void Kubelet::OnSandboxReady(const std::string& pod_key) {
   // kdlint: allow(R5) kubelet-local pod table: fed by the raw watch (K8s) / ingress (Kd), not informer-synced
   cache_.Upsert(running);
   env_.metrics.Count("sandboxes_started");
+  auto started = start_times_.find(pod_key);
+  if (started != start_times_.end()) {
+    // Provisioning-level cold start (bind arrival -> container up),
+    // independent of the API publish — the sandbox keeps serving even
+    // when the publish stalls against a down API server.
+    env_.metrics.RecordDuration("sandbox_ready_latency",
+                                env_.engine.now() - started->second);
+  }
+  AnnounceEndpointUp(running);
 
   if (mode_ == Mode::kKd && harness_.upstream()) {
     // Soft-invalidate upstream: phase + IP (§4.2).
@@ -327,6 +369,7 @@ void Kubelet::Terminate(const std::string& pod_key, bool notify_upstream) {
       env_.cost.kubelet_terminate, [this, pod_key, was_published,
                                     notify_upstream] {
         if (harness_.crashed()) return;
+        AnnounceEndpointDown(pod_key);
         if (was_published) {
           harness_.api().Delete(kKindPod,
                                 pod_key.substr(pod_key.find('/') + 1),
@@ -355,11 +398,82 @@ void Kubelet::DrainAllKdPods() {
     keys.push_back(pod->Key());
   }
   for (const std::string& key : keys) {
-    // The Scheduler already assumed these terminated; no backward
-    // signal needed (and the link may be down anyway).
-    Terminate(key, /*notify_upstream=*/false);
+    // Notify upstream even though the Scheduler usually already assumed
+    // these terminated (the signal is then an idempotent no-op): the
+    // invalid mark can also reach us AFTER the Scheduler un-cancelled
+    // the node and resumed placing — pods caught by that watch-latency
+    // race must be reported dead or the upstream accounting wedges. If
+    // the link is down the send is dropped and the next handshake's
+    // version exchange reconciles instead.
+    Terminate(key, /*notify_upstream=*/true);
   }
   env_.metrics.Count("nodes_drained");
+}
+
+bool Kubelet::DirectEndpointsEnabled() const {
+  return mode_ == Mode::kKd && env_.cost.kd_direct_endpoint_publish;
+}
+
+void Kubelet::EnsureEndpointStream() {
+  if (!DirectEndpointsEnabled() || harness_.crashed()) return;
+  if (ep_stream_ != nullptr && ep_stream_->connected()) return;
+  if (ep_stream_connecting_) return;
+  ep_stream_connecting_ = true;
+  harness_.endpoint().Connect(
+      Addresses::EndpointsController(),
+      [this](StatusOr<net::ConnHandlePtr> result) {
+        ep_stream_connecting_ = false;
+        if (harness_.crashed()) return;
+        if (!result.ok()) {
+          // Endpoints controller down or unreachable; retry while we
+          // hold announcements it has not confirmed seeing.
+          if (!ep_announced_.empty()) {
+            env_.engine.ScheduleAfter(env_.cost.watch_retry_backoff,
+                                      [this] { EnsureEndpointStream(); });
+          }
+          return;
+        }
+        ep_stream_ = std::move(*result);
+        ep_stream_->set_on_disconnect([this] {
+          if (harness_.crashed()) return;
+          ep_stream_.reset();
+          if (!ep_announced_.empty()) {
+            env_.engine.ScheduleAfter(env_.cost.watch_retry_backoff,
+                                      [this] { EnsureEndpointStream(); });
+          }
+        });
+        // Level-triggered resync: the receiver drops whatever it knew
+        // from our previous incarnation, then learns the current set.
+        (void)ep_stream_->Send("reset " + node_name_);
+        for (const auto& [key, entry] : ep_announced_) {
+          (void)ep_stream_->Send("up " + node_name_ + " " + key + " " +
+                                 entry.first + " " + entry.second);
+        }
+      });
+}
+
+void Kubelet::AnnounceEndpointUp(const ApiObject& pod) {
+  if (!DirectEndpointsEnabled()) return;
+  const std::string service = model::GetLabel(pod, "app");
+  const std::string ip = model::GetPodIp(pod);
+  if (service.empty() || ip.empty()) return;
+  ep_announced_[pod.Key()] = {service, ip};
+  if (ep_stream_ != nullptr && ep_stream_->connected()) {
+    (void)ep_stream_->Send("up " + node_name_ + " " + pod.Key() + " " +
+                           service + " " + ip);
+    return;
+  }
+  EnsureEndpointStream();  // resync-on-connect delivers it
+}
+
+void Kubelet::AnnounceEndpointDown(const std::string& pod_key) {
+  if (!DirectEndpointsEnabled()) return;
+  if (ep_announced_.erase(pod_key) == 0) return;
+  if (ep_stream_ != nullptr && ep_stream_->connected()) {
+    (void)ep_stream_->Send("down " + node_name_ + " " + pod_key);
+    return;
+  }
+  EnsureEndpointStream();
 }
 
 std::size_t Kubelet::running_pods() const {

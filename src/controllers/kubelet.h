@@ -69,7 +69,23 @@ class Kubelet {
   void Publish(const model::ApiObject& pod);
   void Terminate(const std::string& pod_key, bool notify_upstream);
   void DrainAllKdPods();
+  // Crash recovery (Kd): re-adopts this node's published pods from the
+  // API server, retrying until it succeeds, then opens the upstream
+  // server. Serving a handshake before the adopt completes would show
+  // the Scheduler an empty version map and make it invalidate pods
+  // that are in fact still running here.
+  void AdoptPublishedPods();
   std::string AssignIp();
+
+  // --- direct endpoint stream (kd_direct_endpoint_publish) ----------
+  // Graceful degradation of pod discovery: ready/terminated endpoint
+  // announcements go straight to the Endpoints controller over a raw
+  // link, so service routing survives an API-server outage (the API
+  // publish of step ⑤ still happens for ecosystem compatibility).
+  bool DirectEndpointsEnabled() const;
+  void EnsureEndpointStream();
+  void AnnounceEndpointUp(const model::ApiObject& pod);
+  void AnnounceEndpointDown(const std::string& pod_key);
 
   runtime::Env& env_;
   Mode mode_;
@@ -95,6 +111,12 @@ class Kubelet {
   std::set<std::string> materializing_;
   std::set<std::string> condemned_;
   std::uint32_t ip_counter_ = 0;
+
+  // Direct endpoint stream state: announced pods (key -> service, ip)
+  // resynced level-triggered on every (re)connect.
+  net::ConnHandlePtr ep_stream_;
+  bool ep_stream_connecting_ = false;
+  std::map<std::string, std::pair<std::string, std::string>> ep_announced_;
 };
 
 }  // namespace kd::controllers

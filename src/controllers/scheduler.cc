@@ -35,6 +35,20 @@ Scheduler::Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options)
     if (after == nullptr || after->kind != kKindNode) return;
     NodeState& state = nodes_[after->name];
     state.cpu_capacity = model::GetCpuMilli(*after);
+    // A committed invalid mark newer than our own last Node write means
+    // the Kubelet WILL drain when it observes it — either we restarted
+    // and lost the cancel state, or one of our cancel writes committed
+    // later than we believed. Either way the node must stay out of
+    // placement until the mark is cleared (OnKubeletReady ->
+    // UncancelNode).
+    if (mode_ == Mode::kKd && model::IsNodeInvalid(*after) &&
+        !state.cancelled && !state.uncancel_inflight &&
+        after->resource_version > state.last_node_write_rv) {
+      state.cancelled = true;
+      harness_.SetDownstreamExempt(after->name, true);
+      // Link already up: no handshake-ready will retrigger the clear.
+      if (harness_.DownstreamReady(after->name)) UncancelNode(after->name);
+    }
     if (mode_ == Mode::kKd && !harness_.crashed()) {
       EnsureKubeletLink(after->name);
     }
@@ -239,15 +253,9 @@ void Scheduler::OnKubeletReady(const std::string& node_name,
   NodeState& state = nodes_[node_name];
   state.consecutive_failures = 0;
   if (state.cancelled) {
-    // The node is reachable again: lift the invalid mark.
-    state.cancelled = false;
-    harness_.SetDownstreamExempt(node_name, false);
-    if (const ApiObject* node = node_cache_.Get(
-            ApiObject::MakeKey(kKindNode, node_name))) {
-      ApiObject updated = *node;
-      model::SetNodeInvalid(updated, false);
-      harness_.api().Update(std::move(updated), [](StatusOr<ApiObject>) {});
-    }
+    // The node is reachable again: lift the invalid mark (the node
+    // stays out of placement until the cleared mark commits).
+    UncancelNode(node_name);
   }
   // Objects the Kubelet knows better than us: tell the upstream.
   for (const std::string& key : changes.updated) {
@@ -429,7 +437,12 @@ void Scheduler::CancelNode(const std::string& node_name) {
           node_cache_.Get(ApiObject::MakeKey(kKindNode, node_name))) {
     ApiObject updated = *node;
     model::SetNodeInvalid(updated, true);
-    harness_.api().Update(std::move(updated), [](StatusOr<ApiObject>) {});
+    harness_.api().Update(std::move(updated),
+                          [this, node_name](StatusOr<ApiObject> result) {
+                            if (harness_.crashed() || !result.ok()) return;
+                            nodes_[node_name].last_node_write_rv =
+                                result->resource_version;
+                          });
   }
   // Assume the node's pods irreversibly terminated; invalidate upstream.
   std::vector<std::string> doomed;
@@ -445,6 +458,52 @@ void Scheduler::CancelNode(const std::string& node_name) {
   }
   env_.metrics.Count("nodes_cancelled");
   harness_.MaybeStartUpstream();
+}
+
+void Scheduler::UncancelNode(const std::string& node_name) {
+  NodeState& state = nodes_[node_name];
+  if (!state.cancelled || state.uncancel_inflight) return;
+  const ApiObject* node =
+      node_cache_.Get(ApiObject::MakeKey(kKindNode, node_name));
+  // No informer copy yet (e.g. right after our own restart): the next
+  // handshake-ready retriggers us once the Node informer catches up.
+  if (node == nullptr) return;
+  // Always WRITE the clear, even when the informer's copy already reads
+  // valid: our cancel write may still be in flight (an API outage keeps
+  // it retrying for tens of seconds) and would otherwise commit the
+  // mark AFTER we resumed placing — a zombie write the Kubelet then
+  // honours by draining every fresh pod. Writing unconditionally makes
+  // optimistic concurrency arbitrate: whichever of the two writes lands
+  // second fails with Conflict and dies (the clear retries below; the
+  // zombie cancel is never retried on Conflict).
+  state.uncancel_inflight = true;
+  ApiObject updated = *node;
+  model::SetNodeInvalid(updated, false);
+  harness_.api().Update(
+      std::move(updated),
+      [this, node_name](StatusOr<ApiObject> result) {
+        if (harness_.crashed()) return;
+        NodeState& s = nodes_[node_name];
+        s.uncancel_inflight = false;
+        if (!s.cancelled) return;  // re-cancelled while in flight
+        if (result.ok()) {
+          s.last_node_write_rv = result->resource_version;
+          s.cancelled = false;
+          harness_.SetDownstreamExempt(node_name, false);
+          // Unschedulable pods requeue themselves (Reconcile's 100ms
+          // retry) — the freed node gets picked up there.
+          return;
+        }
+        // Conflict (stale informer copy) or API-outage give-up: retry
+        // off the refreshed informer copy after a backoff. The node
+        // simply stays cancelled in the meantime — safe, just slow.
+        env_.engine.ScheduleAfter(
+            env_.cost.kd_reconnect_backoff, [this, node_name] {
+              if (harness_.crashed()) return;
+              if (!harness_.DownstreamReady(node_name)) return;
+              UncancelNode(node_name);
+            });
+      });
 }
 
 }  // namespace kd::controllers

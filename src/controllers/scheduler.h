@@ -65,9 +65,22 @@ class Scheduler {
     std::int64_t cpu_allocated = 0;
     int consecutive_failures = 0;
     bool cancelled = false;
+    // An invalid=false Node write is in flight (un-cancel commit gate).
+    bool uncancel_inflight = false;
+    // Highest resourceVersion among our own committed Node writes —
+    // lets the informer handler tell our own write echoes from invalid
+    // marks we did not (knowingly) put there.
+    std::uint64_t last_node_write_rv = 0;
   };
 
   Duration Reconcile(const std::string& pod_key);
+  // Reverses CancelNode once the node is reachable again. The node
+  // resumes taking pods only after the cleared invalid mark COMMITS to
+  // the API server: the mark is committed state, and a Kubelet that
+  // observes it — however late (e.g. a watch relist after an API
+  // outage) — drains every pod on the node (§4.3). Placing before the
+  // commit hands that drain fresh victims.
+  void UncancelNode(const std::string& node_name);
   // Picks the least-allocated feasible node; returns "" if none fit.
   std::string PickNode(const model::ApiObject& pod, Duration& scan_cost);
   void EnsureKubeletLink(const std::string& node_name);

@@ -107,7 +107,9 @@ void HierarchyClient::HandleStateVersions(const WireMessage& msg) {
   // Scoped view of our cache (single pass, no object copies).
   std::map<std::string, std::uint64_t> mine;
   cache_.ForEachVisible([&](const model::ApiObject& obj) {
-    if (InScope(obj)) mine.emplace_hint(mine.end(), obj.Key(), obj.ContentHash());
+    if (InScope(obj)) {
+      mine.emplace_hint(mine.end(), obj.Key(), obj.ContentHash());
+    }
   });
 
   std::vector<std::string> to_fetch;
@@ -177,9 +179,24 @@ void HierarchyClient::OnMessage(WireMessage msg) {
     case WireMessage::Type::kSoftInvalidate: {
       // Merge the downstream's state change into our cache, then notify
       // the controller so it can propagate further upstream. Unknown
-      // objects are materialized fresh — the downstream may legitimately
-      // know pods we do not (e.g. a restarted Scheduler recovering a
-      // running pod from a Kubelet, Anomaly #2's safe path).
+      // objects are only materialized from self-contained messages
+      // (whole-section literals — the recovery relay of Anomaly #2's
+      // restarted-Scheduler path, where the downstream legitimately
+      // knows pods we do not). A dotted-path delta for an object we do
+      // not hold cannot be materialized — it carries only the changed
+      // attributes, and fabricating a partial object would corrupt
+      // upstream accounting (an ownerless phantom pod the ReplicaSet
+      // controller can neither count nor delete). Such a delta means
+      // the downstream runs a stale incarnation we dropped (e.g. a
+      // victim reporting ready after its tombstone raced the link);
+      // termination is idempotent (§4.3), so answer with the removal
+      // intent and let the downstream settle.
+      if (cache_.Get(msg.message.obj_key) == nullptr &&
+          !IsSelfContained(msg.message)) {
+        if (metrics_) metrics_->Count("kd_soft_invalidate_orphans");
+        SendTombstone(msg.message.obj_key);
+        break;
+      }
       StatusOr<model::ApiObject> merged = Materialize(msg.message, cache_);
       if (merged.ok()) {
         cache_.Upsert(std::move(*merged));

@@ -242,4 +242,9 @@ KdMessage FullObjectMessage(const model::ApiObject& obj) {
   return msg;
 }
 
+bool IsSelfContained(const KdMessage& msg) {
+  return msg.attrs.count("metadata") != 0 && msg.attrs.count("spec") != 0 &&
+         msg.attrs.count("status") != 0;
+}
+
 }  // namespace kd::kubedirect

@@ -114,4 +114,9 @@ KdMessage DiffMessage(const model::ApiObject& before,
 // "naive direct message passing" baseline of the Fig. 14 ablation.
 KdMessage FullObjectMessage(const model::ApiObject& obj);
 
+// True when the message carries every whole top-level section
+// (FullObjectMessage shape) — i.e. it can materialize an object the
+// receiver does not already hold. Dotted-path deltas cannot.
+bool IsSelfContained(const KdMessage& msg);
+
 }  // namespace kd::kubedirect

@@ -194,7 +194,13 @@ void Network::Heal(const std::string& a, const std::string& b) {
   partitions_.erase(NormalizedPair(a, b));
 }
 
+std::uint64_t Network::crash_epoch(const std::string& address) const {
+  auto it = crash_epochs_.find(address);
+  return it == crash_epochs_.end() ? 0 : it->second;
+}
+
 void Network::CrashEndpoint(const std::string& address) {
+  ++crash_epochs_[address];
   for (auto it = connections_.begin(); it != connections_.end();) {
     auto conn = it->lock();
     if (!conn) {
@@ -236,13 +242,24 @@ void Endpoint::Connect(const std::string& to,
   Network& net = network_;
   // SYN travels one way; the accept + SYN-ACK another. Failures are
   // reported after the keepalive timeout, like a real connect timeout.
-  net.engine_.ScheduleAfter(net.config_.latency, [&net, from, to,
+  // Either endpoint crashing while the handshake is in flight
+  // invalidates it (observed via the crash epochs): the connector's
+  // own crash silences the callback (its process is gone); the
+  // target's crash times the connect out instead of leaving a
+  // half-open connection to a dead process.
+  const std::uint64_t from_epoch = net.crash_epoch(from);
+  const std::uint64_t to_epoch = net.crash_epoch(to);
+  net.engine_.ScheduleAfter(net.config_.latency, [&net, from, to, from_epoch,
+                                                  to_epoch,
                                                   done = std::move(done)]() {
+    if (net.crash_epoch(from) != from_epoch) return;  // connector died
     Endpoint* target = net.Find(to);
-    if (target == nullptr || !target->listening() || !net.Reachable(from, to)) {
+    if (target == nullptr || !target->listening() ||
+        !net.Reachable(from, to) || net.crash_epoch(to) != to_epoch) {
       net.engine_.ScheduleAfter(
           net.config_.disconnect_detect_delay,
-          [done = std::move(done), to] {
+          [&net, done = std::move(done), from, from_epoch, to] {
+            if (net.crash_epoch(from) != from_epoch) return;
             done(UnavailableError("connect to " + to + " failed"));
           });
       return;
@@ -251,8 +268,10 @@ void Endpoint::Connect(const std::string& to,
     net.connections_.insert(conn);
     auto server_handle = std::make_shared<ConnHandle>(conn, 1);
     target->on_accept_(server_handle);
-    net.engine_.ScheduleAfter(net.config_.latency, [&net, conn, from, to,
+    net.engine_.ScheduleAfter(net.config_.latency, [&net, conn, from,
+                                                    from_epoch, to,
                                                     done = std::move(done)]() {
+      if (net.crash_epoch(from) != from_epoch) return;  // connector died
       if (!conn->open() || !net.Reachable(from, to)) {
         done(UnavailableError("connection lost during setup"));
         return;

@@ -102,6 +102,13 @@ class Network {
   // component can listen/connect again.
   void CrashEndpoint(const std::string& address);
 
+  // Bumped on every CrashEndpoint(address). Connect captures both
+  // endpoints' epochs at initiation and validates them when the SYN
+  // lands, so a crash while the connect is in flight yields a timeout
+  // (or, for the connector's own crash, silence) instead of a
+  // half-open connection to a dead process.
+  std::uint64_t crash_epoch(const std::string& address) const;
+
   // --- Accounting ---------------------------------------------------
   MetricsRecorder& metrics() { return metrics_; }
   std::uint64_t total_messages() const { return total_messages_; }
@@ -121,6 +128,7 @@ class Network {
   std::map<std::string, Endpoint*> endpoints_;
   std::set<std::pair<std::string, std::string>> partitions_;  // normalized
   std::set<std::weak_ptr<Connection>, std::owner_less<>> connections_;
+  std::map<std::string, std::uint64_t> crash_epochs_;
   MetricsRecorder metrics_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;

@@ -179,6 +179,13 @@ class ControllerHarness {
     When when;
     apiserver::WatchId id = 0;
     bool active = false;
+    // Shadow of the last state delivered per key (memory-only). After
+    // a watch break the harness relists and diffs against this,
+    // synthesizing the Added/Modified/Deleted events missed during
+    // the outage — raw watches have no informer cache to diff with.
+    std::map<std::string, model::ApiObject> last_seen;
+    // Invalidates retry/relist chains of a dead watch generation.
+    std::uint64_t arm_epoch = 0;
   };
 
   bool ModeMatches(When when) const {
@@ -188,6 +195,12 @@ class ControllerHarness {
   std::unique_ptr<kubedirect::HierarchyClient> MakeClient(DownstreamSpec spec);
   void OnStaticLinkReady(const kubedirect::ChangeSet& changes);
   void OnStaticLinkDown();
+
+  // Raw-watch fault lifecycle: (re-)register the watch (retrying while
+  // the API server is down), optionally relist-and-diff afterwards.
+  void ArmRawWatch(std::size_t index, bool relist);
+  void OnRawWatchBreak(std::size_t index, std::uint64_t epoch);
+  void RelistRawWatch(std::size_t index, std::uint64_t epoch);
 
   Env& env_;
   Mode mode_;

@@ -1,25 +1,63 @@
 #include "runtime/informer.h"
 
+#include <set>
+
 namespace kd::runtime {
 
 void Informer::Start(const std::string& kind, std::function<void()> done) {
-  watches_.push_back(server_.Watch(
-      kind, [this](const apiserver::WatchEvent& event) {
-        switch (event.type) {
-          case apiserver::WatchEventType::kAdded:
-          case apiserver::WatchEventType::kModified:
-            cache_.Upsert(event.object);
-            break;
-          case apiserver::WatchEventType::kDeleted:
-            cache_.Remove(event.object.Key());
-            break;
-        }
-      }));
+  kind_ = kind;
+  started_ = true;
+  running_ = true;
+  ++session_;
   ++pending_syncs_;
-  client_.List(kind, [this, done = std::move(done)](
-                         StatusOr<std::vector<model::ApiObject>> result) {
-    if (result.ok()) {
-      for (auto& obj : *result) cache_.Upsert(std::move(obj));
+  const std::uint64_t session = session_;
+  // Arm the watch first (free registration). If the server is down the
+  // registration is refused; keep retrying until it sticks, then list.
+  watch_id_ = server_.Watch(
+      kind_, nullptr,
+      [this](const apiserver::WatchEvent& event) { HandleEvent(event); },
+      [this] { OnWatchBreak(); });
+  if (watch_id_ == 0) {
+    server_.engine().ScheduleAfter(
+        server_.cost().watch_retry_backoff,
+        [this, session, done = std::move(done)]() mutable {
+          if (session != session_ || !running_) return;
+          --pending_syncs_;  // Start re-increments.
+          Start(kind_, std::move(done));
+        });
+    return;
+  }
+  RunInitialList(std::move(done));
+}
+
+void Informer::RunInitialList(std::function<void()> done) {
+  const std::uint64_t session = session_;
+  client_.List(kind_, [this, session, done = std::move(done)](
+                          StatusOr<std::vector<model::ApiObject>> result) {
+    if (session != session_ || !running_) return;
+    if (!result.ok()) {
+      // Server died mid-sync (transport failure after retries). The
+      // broken-watch path re-arms the stream; the initial list itself
+      // keeps retrying so `done` eventually fires.
+      server_.engine().ScheduleAfter(
+          server_.cost().watch_retry_backoff,
+          [this, session, done = std::move(done)]() mutable {
+            if (session != session_ || !running_) return;
+            RunInitialList(std::move(done));
+          });
+      return;
+    }
+    for (auto& obj : *result) {
+      if (guard_) {
+        // A crash interleaved with the initial sync: the relist
+        // machinery may already have merged fresher state.
+        const model::ApiObject* cached = cache_.Get(obj.Key());
+        if (cached != nullptr &&
+            cached->resource_version >= obj.resource_version) {
+          continue;
+        }
+      }
+      cache_.Upsert(std::move(obj));
     }
     --pending_syncs_;
     if (done) done();
@@ -27,8 +65,112 @@ void Informer::Start(const std::string& kind, std::function<void()> done) {
 }
 
 void Informer::Stop() {
-  for (apiserver::WatchId id : watches_) server_.Unwatch(id);
-  watches_.clear();
+  if (watch_id_ != 0) {
+    server_.Unwatch(watch_id_);
+    watch_id_ = 0;
+  }
+  running_ = false;
+  ++session_;
+  ++resync_epoch_;
+}
+
+void Informer::HandleEvent(const apiserver::WatchEvent& event) {
+  switch (event.type) {
+    case apiserver::WatchEventType::kAdded:
+    case apiserver::WatchEventType::kModified:
+      if (guard_) {
+        const model::ApiObject* cached = cache_.Get(event.object.Key());
+        if (cached != nullptr &&
+            cached->resource_version >= event.object.resource_version) {
+          return;  // Stale relative to a merged relist snapshot.
+        }
+      }
+      cache_.Upsert(event.object);
+      break;
+    case apiserver::WatchEventType::kDeleted:
+      cache_.Remove(event.object.Key());
+      break;
+  }
+}
+
+void Informer::OnWatchBreak() {
+  if (!running_) return;
+  watch_id_ = 0;
+  guard_ = true;
+  ++resync_epoch_;
+  ScheduleRearm();
+}
+
+void Informer::ScheduleRearm() {
+  const std::uint64_t session = session_;
+  const std::uint64_t epoch = resync_epoch_;
+  server_.engine().ScheduleAfter(
+      server_.cost().watch_retry_backoff, [this, session, epoch] {
+        if (session != session_ || epoch != resync_epoch_ || !running_) return;
+        Rearm();
+      });
+}
+
+void Informer::Rearm() {
+  // Reflector order: watch first, then list, so nothing committed
+  // between the two is missed (duplicates are absorbed by the guarded
+  // merge).
+  watch_id_ = server_.Watch(
+      kind_, nullptr,
+      [this](const apiserver::WatchEvent& event) { HandleEvent(event); },
+      [this] { OnWatchBreak(); });
+  if (watch_id_ == 0) {
+    ScheduleRearm();  // Still down.
+    return;
+  }
+  const std::uint64_t session = session_;
+  const std::uint64_t epoch = resync_epoch_;
+  client_.ListAt(kind_, [this, session, epoch](
+                            StatusOr<std::vector<model::ApiObject>> objects,
+                            std::uint64_t revision) {
+    if (session != session_ || epoch != resync_epoch_ || !running_) return;
+    if (!objects.ok()) {
+      // Crashed again between watch registration and the list. Kill
+      // this recovery chain (a concurrent on_break chain with the old
+      // epoch dies too) and start a fresh one.
+      if (watch_id_ != 0) {
+        server_.Unwatch(watch_id_);
+        watch_id_ = 0;
+      }
+      ++resync_epoch_;
+      ScheduleRearm();
+      return;
+    }
+    ApplySnapshot(*std::move(objects), revision);
+  });
+}
+
+void Informer::ApplySnapshot(std::vector<model::ApiObject> objects,
+                             std::uint64_t revision) {
+  std::set<std::string> snapshot_keys;
+  for (auto& obj : objects) {
+    snapshot_keys.insert(obj.Key());
+    const model::ApiObject* cached = cache_.Get(obj.Key());
+    if (cached != nullptr &&
+        cached->resource_version >= obj.resource_version) {
+      continue;
+    }
+    cache_.Upsert(std::move(obj));  // Synthesized Added/Modified.
+  }
+  // Cached-but-absent means deleted during the outage — unless the
+  // cached version postdates the snapshot (a watch event beat the
+  // list), in which case the object is newer than the snapshot knows.
+  std::vector<std::string> to_remove;
+  for (const model::ApiObject* cached : cache_.List(kind_)) {
+    if (snapshot_keys.count(cached->Key()) != 0) continue;
+    if (cached->resource_version > revision) continue;
+    to_remove.push_back(cached->Key());
+  }
+  for (const std::string& key : to_remove) cache_.Remove(key);
+  ++resyncs_;
+  if (metrics_ != nullptr) {
+    metrics_->Count("informer." + kind_ + ".relists_total");
+  }
 }
 
 }  // namespace kd::runtime

@@ -2,14 +2,27 @@
 // local cache (steps ①② of Fig. 4). Performs the initial List + Watch
 // dance of client-go reflectors, then merges watch events into the
 // ObjectCache, whose change handlers trigger the control loop.
+//
+// Fault domain: when the API server crashes, the watch stream breaks
+// (on_break). The informer then re-establishes it reflector-style —
+// watch first, then a relist carrying the snapshot's store revision —
+// and diffs the snapshot against the local cache, synthesizing the
+// Added/Modified/Deleted mutations missed during the outage so the
+// control loop sees one consistent level-triggered stream. After the
+// first break, merges are resourceVersion-guarded so a stale snapshot
+// or late event can never roll the cache backwards. (The no-fault
+// path is byte-identical to the pre-fault-domain informer: no guards,
+// no extra events.)
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "apiserver/apiserver.h"
 #include "apiserver/client.h"
+#include "common/metrics.h"
 #include "runtime/cache.h"
 
 namespace kd::runtime {
@@ -17,8 +30,8 @@ namespace kd::runtime {
 class Informer {
  public:
   Informer(apiserver::ApiClient& client, apiserver::ApiServer& server,
-           ObjectCache& cache)
-      : client_(client), server_(server), cache_(cache) {}
+           ObjectCache& cache, MetricsRecorder* metrics = nullptr)
+      : client_(client), server_(server), cache_(cache), metrics_(metrics) {}
   ~Informer() { Stop(); }
 
   Informer(const Informer&) = delete;
@@ -27,19 +40,45 @@ class Informer {
   // Registers the watch, then lists `kind` to seed the cache. `done`
   // fires when the initial sync finished. Watch-before-list means no
   // event can be missed in the gap (events for objects the list also
-  // returns are harmless Upserts).
+  // returns are harmless Upserts). If the API server is down, both
+  // legs keep retrying with watch_retry_backoff until it returns.
   void Start(const std::string& kind, std::function<void()> done = nullptr);
 
   void Stop();
 
-  bool synced() const { return pending_syncs_ == 0; }
+  bool synced() const { return started_ && pending_syncs_ == 0; }
+  // Watch-break recoveries completed (relist + diff applied).
+  std::uint64_t resyncs() const { return resyncs_; }
 
  private:
+  void HandleEvent(const apiserver::WatchEvent& event);
+  void OnWatchBreak();
+  // Initial sync: plain list, unguarded merge (the cache is empty).
+  void RunInitialList(std::function<void()> done);
+  void ScheduleRearm();
+  void Rearm();
+  void ApplySnapshot(std::vector<model::ApiObject> objects,
+                     std::uint64_t revision);
+
   apiserver::ApiClient& client_;
   apiserver::ApiServer& server_;
   ObjectCache& cache_;
-  std::vector<apiserver::WatchId> watches_;
+  MetricsRecorder* metrics_;
+  std::string kind_;
+  apiserver::WatchId watch_id_ = 0;
   int pending_syncs_ = 0;
+  bool started_ = false;
+  bool running_ = false;
+  // Set on the first watch break: from then on merges are
+  // resourceVersion-guarded (never in the no-fault path, which keeps
+  // its event trace byte-identical).
+  bool guard_ = false;
+  std::uint64_t resyncs_ = 0;
+  // Stale-closure guards: session_ invalidates everything on
+  // Stop/Start; resync_epoch_ invalidates an in-flight recovery chain
+  // when the watch breaks again mid-relist.
+  std::uint64_t session_ = 0;
+  std::uint64_t resync_epoch_ = 0;
 };
 
 }  // namespace kd::runtime

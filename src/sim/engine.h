@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/time.h"
 
 namespace kd::sim {
@@ -128,6 +129,13 @@ class Engine {
   // tests against livelock in buggy reconcile loops. 0 disables.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
   bool hit_event_limit() const { return hit_event_limit_; }
+
+  // The simulation-layer entropy source (kdlint R1: ambient entropy is
+  // banned outside src/sim, so deterministic jitter — e.g. retry
+  // backoff — draws from here). Seeded at construction; SeedRng makes
+  // a run's stream reproducible from a test/bench seed.
+  Rng& rng() { return rng_; }
+  void SeedRng(std::uint64_t seed) { rng_.Seed(seed); }
 
   // Observer invoked as each event fires: (virtual time, scheduling
   // sequence number, event id). The determinism-replay regression test
@@ -252,6 +260,7 @@ class Engine {
   std::vector<std::uint64_t> occupied_;
   std::vector<HeapEntry> heap_;  // overflow: time >= now_ + kWheelSize
   TraceHook trace_hook_;
+  Rng rng_;
 };
 
 }  // namespace kd::sim

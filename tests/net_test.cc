@@ -248,6 +248,45 @@ TEST_F(NetTest, EndpointUnregistersOnDestruction) {
   EXPECT_EQ(network_.Find("tmp"), nullptr);
 }
 
+TEST_F(NetTest, TargetCrashWithSynInFlightTimesOutInsteadOfHalfOpen) {
+  Endpoint a(network_, "a"), b(network_, "b");
+  bool accepted = false;
+  b.Listen([&](ConnHandlePtr) { accepted = true; });
+  Status status = OkStatus();
+  bool done = false;
+  Time done_at = 0;
+  a.Connect("b", [&](StatusOr<ConnHandlePtr> r) {
+    status = r.status();
+    done = true;
+    done_at = engine_.now();
+  });
+  // The crash lands after the SYN left but before it arrives; the
+  // listening flag is untouched (a restarted process may be back), so
+  // only the crash epoch distinguishes the dead incarnation.
+  engine_.ScheduleAfter(network_.config().latency / 2,
+                        [&] { network_.CrashEndpoint("b"); });
+  engine_.Run();
+  ASSERT_TRUE(done);  // must not hang half-open
+  EXPECT_FALSE(accepted);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  // Failure is observed as a connect timeout, not instantly.
+  EXPECT_GE(done_at, network_.config().latency +
+                         network_.config().disconnect_detect_delay);
+}
+
+TEST_F(NetTest, ConnectorCrashWithSynInFlightStaysSilent) {
+  Endpoint a(network_, "a"), b(network_, "b");
+  b.Listen([](ConnHandlePtr) {});
+  bool called = false;
+  a.Connect("b", [&](StatusOr<ConnHandlePtr>) { called = true; });
+  // The connector dies while its own SYN is on the wire: its process
+  // is gone, so no completion callback may fire into it.
+  engine_.ScheduleAfter(network_.config().latency / 2,
+                        [&] { network_.CrashEndpoint("a"); });
+  engine_.Run();
+  EXPECT_FALSE(called);
+}
+
 TEST_F(NetTest, MidSetupPartitionFailsConnect) {
   Endpoint a(network_, "a"), b(network_, "b");
   b.Listen([](ConnHandlePtr) {});

@@ -67,7 +67,7 @@ class ModelWalk {
 
  private:
   void Step() {
-    switch (rng_.UniformInt(10)) {
+    switch (rng_.UniformInt(12)) {
       case 0:
       case 1:
       case 2: {  // scaling command (weighted: the common action)
@@ -121,7 +121,27 @@ class ModelWalk {
         PartitionRandomLink(/*heal=*/true);
         break;
       }
-      case 7: {  // evict a random running pod at its kubelet
+      case 7: {  // API-server blip: crash + immediate restart
+        // Every watch breaks and every informer relists; committed
+        // state survives (etcd-backed store).
+        cluster_->apiserver().Crash();
+        cluster_->apiserver().Restart();
+        break;
+      }
+      case 8: {  // API-server outage window
+        // The server stays down while the walk keeps issuing actions —
+        // API-path work piles into retries, the Kd data path keeps
+        // flowing over the hierarchy links. Restart always lands, so
+        // the Liveness Assumption holds at close. Crash()/Restart()
+        // are no-ops when windows overlap.
+        cluster_->apiserver().Crash();
+        engine_.ScheduleAfter(
+            Milliseconds(static_cast<std::int64_t>(
+                200 + rng_.UniformInt(1300))),
+            [this] { cluster_->apiserver().Restart(); });
+        break;
+      }
+      case 9: {  // evict a random running pod at its kubelet
         std::vector<std::pair<int, std::string>> candidates;
         for (int k = 0; k < kNodes; ++k) {
           for (const ApiObject* pod :
@@ -236,6 +256,24 @@ class ModelWalk {
     // Tombstones drained (all terminations settled).
     EXPECT_EQ(cluster_->replicaset_controller().tombstone_count(), 0u);
     EXPECT_EQ(cluster_->scheduler().tombstone_count(), 0u);
+    // InformerReconvergence: after any number of API-server outages,
+    // the informer-synced caches hold exactly the server's committed
+    // state — same keys, same resource versions (relist diffing lost
+    // nothing, synthesized nothing extra).
+    const auto& ep_cache = cluster_->endpoints_controller().cache();
+    for (const std::string& kind :
+         {std::string(model::kKindService), std::string(kKindPod)}) {
+      const std::map<std::string, std::uint64_t> truth =
+          cluster_->apiserver().VersionMap(kind);
+      const std::vector<const ApiObject*> view = ep_cache.List(kind);
+      ASSERT_EQ(view.size(), truth.size())
+          << "endpoints informer cache diverged for " << kind;
+      for (const ApiObject* obj : view) {
+        auto it = truth.find(obj->Key());
+        ASSERT_NE(it, truth.end()) << obj->Key() << " not on the server";
+        EXPECT_EQ(obj->resource_version, it->second) << obj->Key();
+      }
+    }
     // EndpointsConvergence: the data plane's routing table (KubeProxy,
     // fed by the Endpoints controller's stream) agrees with the set of
     // Running pod IPs the API server publishes.
