@@ -175,6 +175,10 @@ void ApiServer::Crash() {
 void ApiServer::Restart() {
   if (up_) return;
   up_ = true;
+  // The injected fault dies with the crashed process; per-incarnation
+  // fault counters restart from zero with it.
+  persist_fault_.Disarm();
+  metrics_.ResetCounter("api_deadline_exceeded");
   const Duration outage = engine_.now() - outage_started_at_;
   outage_total_ += outage;
   metrics_.RecordValue("apiserver.outage_seconds", ToSeconds(outage));
@@ -200,10 +204,15 @@ void ApiServer::HandleCreate(
         Status admission =
             RunAdmission(AdmissionOp::kCreate, nullptr, &obj);
         if (!admission.ok()) return {admission, {}};
+        if (persist_fault_.Tick()) {  // crash before the fsync lands
+          Crash();
+          return {UnavailableError("surprise shutdown at persist"), {}};
+        }
         obj.resource_version = ++revision_;
         auto [ins, ok] = store_.emplace(key, std::move(obj));
         (void)ok;
         Broadcast(WatchEventType::kAdded, ins->second);
+        if (persist_fault_.Tick()) Crash();  // committed, unacknowledged
         return {OkStatus(), ins->second};
       },
       [done = std::move(done)](CommitResult r) {
@@ -239,9 +248,14 @@ void ApiServer::HandleUpdate(
         Status admission =
             RunAdmission(AdmissionOp::kUpdate, &it->second, &obj);
         if (!admission.ok()) return {admission, {}};
+        if (persist_fault_.Tick()) {  // crash before the fsync lands
+          Crash();
+          return {UnavailableError("surprise shutdown at persist"), {}};
+        }
         obj.resource_version = ++revision_;
         it->second = std::move(obj);
         Broadcast(WatchEventType::kModified, it->second);
+        if (persist_fault_.Tick()) Crash();  // committed, unacknowledged
         return {OkStatus(), it->second};
       },
       [done = std::move(done)](CommitResult r) {
@@ -266,10 +280,15 @@ void ApiServer::HandleDelete(const std::string& kind, const std::string& name,
         Status admission =
             RunAdmission(AdmissionOp::kDelete, &it->second, nullptr);
         if (!admission.ok()) return {admission, {}};
+        if (persist_fault_.Tick()) {  // crash before the fsync lands
+          Crash();
+          return {UnavailableError("surprise shutdown at persist"), {}};
+        }
         model::ApiObject removed = std::move(it->second);
         store_.erase(it);
         removed.resource_version = ++revision_;
         Broadcast(WatchEventType::kDeleted, removed);
+        if (persist_fault_.Tick()) Crash();  // committed, unacknowledged
         return {OkStatus(), std::move(removed)};
       },
       [done = std::move(done)](CommitResult r) { done(r.status); });

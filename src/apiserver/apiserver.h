@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/cost_model.h"
+#include "common/fault_point.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "model/objects.h"
@@ -116,6 +117,17 @@ class ApiServer {
   // Cumulative time spent down (closed outages only).
   Duration outage_total() const { return outage_total_; }
 
+  // Numbered-operation crash seam: every write that passes validation
+  // ticks twice — once just before the store mutation (armed: the
+  // crash loses the write, "the fsync never landed") and once just
+  // after it and its watch broadcast (armed: the write is durable but
+  // the response and the broadcast die with the process — committed
+  // yet unacknowledged). Restart() disarms (the injected fault dies
+  // with the process) and resets the per-incarnation fault counters
+  // ("api_deadline_exceeded"), so sweep summaries count per
+  // incarnation.
+  FaultPoint& persist_fault() { return persist_fault_; }
+
   // --- admission ----------------------------------------------------------
   void AddAdmissionHook(AdmissionHook hook) {
     admission_hooks_.push_back(std::move(hook));
@@ -192,6 +204,7 @@ class ApiServer {
   std::map<std::uint64_t, std::shared_ptr<RespondFn>> pending_;
   Time outage_started_at_ = 0;
   Duration outage_total_ = 0;
+  FaultPoint persist_fault_;
 
   std::vector<AdmissionHook> admission_hooks_;
   MetricsRecorder metrics_;

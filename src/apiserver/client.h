@@ -75,6 +75,14 @@ class ApiClient {
                                  std::uint64_t revision)>
                   done);
 
+  // Abandons every in-flight call and retry chain: each completes with
+  // kCancelled (trackers settle; nothing re-sends). Invoked when the
+  // owning process surprise-shuts down — its queued retries must not
+  // land writes after the crash, because no live incarnation would own
+  // them (e.g. a dead kubelet's pod Create materializing a ghost
+  // Running record nobody will ever delete).
+  void AbandonPending() { ++generation_; }
+
   const std::string& name() const { return name_; }
   TokenBucket& limiter() { return limiter_; }
   const RetryPolicy& retry_policy() const { return retry_; }
@@ -106,12 +114,22 @@ class ApiClient {
 
   // Drives `issue` (one full request attempt) until it returns a
   // non-retryable result or the policy is exhausted. Pure pass-through
-  // on the success path: no extra events, no extra cost.
+  // on the success path: no extra events, no extra cost. Every chain
+  // is pinned to the generation it started in: AbandonPending() (the
+  // owning process crashed) makes in-flight chains complete with
+  // kCancelled instead of retrying — a dead process cannot re-send,
+  // and letting its queued retries land later would manufacture writes
+  // no live incarnation owns.
   template <typename Result>
   void RetryCall(std::function<void(std::function<void(Result)>)> issue,
                  std::function<void(Result)> done, int attempt) {
-    issue([this, issue, done = std::move(done), attempt](
+    const std::uint64_t generation = generation_;
+    issue([this, generation, issue, done = std::move(done), attempt](
               Result result) mutable {
+      if (generation != generation_) {
+        done(Result{CancelledError("caller abandoned the call")});
+        return;
+      }
       const StatusCode code = ResultCode(result);
       if (code == StatusCode::kDeadlineExceeded) {
         CountFault("deadline_exceeded_total");
@@ -128,8 +146,12 @@ class ApiClient {
       CountFault("retries_total");
       engine_.ScheduleAfter(
           BackoffDelay(attempt),
-          [this, issue = std::move(issue), done = std::move(done),
-           attempt]() mutable {
+          [this, generation, issue = std::move(issue),
+           done = std::move(done), attempt]() mutable {
+            if (generation != generation_) {
+              done(Result{CancelledError("caller abandoned the call")});
+              return;
+            }
             RetryCall<Result>(std::move(issue), std::move(done), attempt + 1);
           });
     });
@@ -143,6 +165,7 @@ class ApiClient {
   MetricsRecorder* metrics_;
   RetryPolicy retry_;
   std::uint64_t calls_issued_ = 0;
+  std::uint64_t generation_ = 0;  // bumped by AbandonPending()
 };
 
 }  // namespace kd::apiserver

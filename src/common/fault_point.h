@@ -1,0 +1,77 @@
+// Numbered-operation crash injection seam — the deterministic
+// counterpart of the property fuzzer's time-based Crash()/Restart().
+//
+// The shape is the OCF surprise-shutdown harness: every durable-layer
+// operation (etcd persist, Kd link message, tombstone apply) ticks a
+// per-component counter; a sweep driver arms a fault at op #i, runs a
+// fixed scenario until the fault fires, restarts the victim, verifies
+// the safety invariants, then advances i — until the scenario
+// completes with no fault fired, at which point every write has been
+// surprise-shutdown exactly once.
+//
+// Semantics:
+//   - the op counter is monotone for the lifetime of the component
+//     object, across any number of Crash()/Restart() epochs — indices
+//     name operations unambiguously over a whole scenario;
+//   - Arm(i) is one-shot: the tick that observes op #i fires the
+//     fault (Tick() returns true, on_fire runs) and self-disarms;
+//   - an index armed in the past (i < ops()) never fires;
+//   - fired() stays observable until the next Arm() — the sweep
+//     driver polls it to decide when to restart the victim;
+//   - a disarmed FaultPoint still counts ops (a dry run measures how
+//     many injection points a scenario has) and adds no other
+//     behavior, keeping the no-fault event trace byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace kd {
+
+class FaultPoint {
+ public:
+  // Arms the fault at absolute operation index `index` (0-based).
+  // Re-arming replaces any previous arm and clears fired().
+  void Arm(std::uint64_t index) {
+    armed_ = true;
+    fired_ = false;
+    index_ = index;
+  }
+
+  // Disarms without firing. Restarting a crashed component disarms its
+  // fault points: the injected fault dies with the process.
+  void Disarm() { armed_ = false; }
+
+  bool armed() const { return armed_; }
+  bool fired() const { return fired_; }
+  // Operations counted so far (monotone across crash/restart epochs).
+  std::uint64_t ops() const { return ops_; }
+
+  // Invoked (synchronously, from inside Tick) when the fault fires.
+  // Component owners use it to schedule the surprise shutdown; the
+  // injection site itself sees Tick() == true and drops the op.
+  void set_on_fire(std::function<void()> on_fire) {
+    on_fire_ = std::move(on_fire);
+  }
+
+  // Counts one operation. Returns true exactly once per Arm(): when
+  // this op's index matches the armed index.
+  bool Tick() {
+    const std::uint64_t op = ops_++;
+    if (!armed_ || op != index_) return false;
+    armed_ = false;
+    fired_ = true;
+    if (on_fire_) on_fire_();
+    return true;
+  }
+
+ private:
+  bool armed_ = false;
+  bool fired_ = false;
+  std::uint64_t index_ = 0;
+  std::uint64_t ops_ = 0;
+  std::function<void()> on_fire_;
+};
+
+}  // namespace kd

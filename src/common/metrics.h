@@ -69,6 +69,19 @@ class MetricsRecorder {
     auto& cur = counters_[name];
     if (v > cur) cur = v;
   }
+  // Per-incarnation counters: a component that crash-restarts resets
+  // the counters scoped to its own process (like a real exporter whose
+  // counters zero on restart), so sweep summaries report per-
+  // incarnation counts. Lifetime totals (e.g. "apiserver.crashes") are
+  // recorded by the harness, not the process, and are never reset.
+  void ResetCounter(const std::string& name) { counters_.erase(name); }
+  void ResetCounterPrefix(const std::string& prefix) {
+    auto it = counters_.lower_bound(prefix);
+    while (it != counters_.end() && it->first.compare(0, prefix.size(),
+                                                      prefix) == 0) {
+      it = counters_.erase(it);
+    }
+  }
 
   void RecordDuration(const std::string& name, Duration d) {
     samples_[name].Add(ToMillis(d));

@@ -27,6 +27,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kDeadlineExceeded,  // request timed out against a dead/unreachable server
+  kCancelled,         // caller abandoned the call (owning process crashed)
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -86,6 +87,9 @@ inline Status InternalError(std::string msg) {
 }
 inline Status DeadlineExceededError(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status CancelledError(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
 }
 
 // Holds either a value of T or an error Status. Mirrors the subset of

@@ -44,6 +44,9 @@ class Autoscaler {
   void Crash() { harness_.Crash(); }
   void Restart() { harness_.Restart(); }
 
+  // Fault-injection seams (crash-point sweep).
+  runtime::ControllerHarness& harness() { return harness_; }
+
   bool link_ready() const { return harness_.link_ready(); }
 
  private:

@@ -27,6 +27,9 @@ class DeploymentController {
   void Crash() { harness_.Crash(); }
   void Restart() { harness_.Restart(); }
 
+  // Fault-injection seams (crash-point sweep).
+  runtime::ControllerHarness& harness() { return harness_; }
+
   bool link_ready() const { return harness_.link_ready(); }
 
  private:

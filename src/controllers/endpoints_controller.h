@@ -35,6 +35,9 @@ class EndpointsController {
   void Crash() { harness_.Crash(); }
   void Restart() { harness_.Restart(); }
 
+  // Fault-injection seams (crash-point sweep).
+  runtime::ControllerHarness& harness() { return harness_; }
+
   bool link_ready() const { return harness_.link_ready(); }
 
   // Current ready-address view for `service` (test observability).

@@ -34,6 +34,9 @@ class KubeProxy {
   void Crash() { harness_.Crash(); }
   void Restart() { harness_.Restart(); }
 
+  // Fault-injection seams (crash-point sweep).
+  runtime::ControllerHarness& harness() { return harness_; }
+
   void SetSink(Sink sink) { sink_ = std::move(sink); }
 
   // Current routing table entry (test observability).

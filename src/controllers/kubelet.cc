@@ -294,9 +294,8 @@ void Kubelet::Publish(const ApiObject& pod) {
     if (!result.ok() || harness_.crashed()) return;
     if (cache_.Get(key) == nullptr) {
       // Terminated while the publish was in flight: the API object is
-      // an orphan — remove it immediately.
-      harness_.api().Delete(kKindPod, key.substr(key.find('/') + 1),
-                            [](Status) {});
+      // an orphan — remove it (durably).
+      DeletePublished(key);
       return;
     }
     published_.insert(key);
@@ -312,8 +311,44 @@ void Kubelet::Publish(const ApiObject& pod) {
     }
   };
   if (mode_ == Mode::kKd) {
-    // The pod was hidden from the API server until now: Create.
-    harness_.api().Create(pod, std::move(on_done));
+    // The pod was hidden from the API server until now: Create. Two
+    // failure shapes need repair (found by the crash-point sweep):
+    //   - AlreadyExists: our create committed but the ack died with
+    //     the server (crash between fsync and response; the client's
+    //     retry then hits its own write). Pod names are session-unique,
+    //     so the record can only be ours — it counts as published.
+    //     Without this, termination skips the API delete
+    //     (was_published false) and the ghost record routes traffic
+    //     to a dead pod forever.
+    //   - Any other failure (outage outlasting the client's retry
+    //     budget): re-publish level-triggered while the pod is live —
+    //     publication is the data plane's visibility and must not be
+    //     lost with one response.
+    const std::uint64_t session = harness_.session();
+    harness_.api().Create(
+        pod, [this, key, session, on_done](StatusOr<ApiObject> result) {
+          if (harness_.crashed() || harness_.session() != session) return;
+          if (!result.ok() &&
+              result.status().code() == StatusCode::kAlreadyExists) {
+            on_done(StatusOr<ApiObject>(ApiObject{}));  // committed, unacked
+            return;
+          }
+          if (!result.ok()) {
+            const ApiObject* local = cache_.Get(key);
+            if (local == nullptr || model::IsTerminating(*local)) return;
+            const ApiObject retry = *local;
+            env_.engine.ScheduleAfter(
+                env_.cost.watch_retry_backoff, [this, session, retry] {
+                  if (harness_.crashed() || harness_.session() != session) {
+                    return;
+                  }
+                  if (cache_.Get(retry.Key()) == nullptr) return;
+                  Publish(retry);
+                });
+            return;
+          }
+          on_done(std::move(result));
+        });
     return;
   }
   // K8s mode: the object exists; update its status. Fetch-free
@@ -370,16 +405,35 @@ void Kubelet::Terminate(const std::string& pod_key, bool notify_upstream) {
                                     notify_upstream] {
         if (harness_.crashed()) return;
         AnnounceEndpointDown(pod_key);
-        if (was_published) {
-          harness_.api().Delete(kKindPod,
-                                pod_key.substr(pod_key.find('/') + 1),
-                                [](Status) {});
-        }
+        if (was_published) DeletePublished(pod_key);
         if (notify_upstream && mode_ == Mode::kKd && harness_.upstream()) {
           // Immediate flush so synchronous preemption observes minimal
           // latency.
           harness_.upstream()->SendRemoveNow(pod_key);
         }
+      });
+}
+
+void Kubelet::DeletePublished(const std::string& pod_key) {
+  // Durable unpublish (found by the crash-point sweep): a terminated
+  // pod's API record must come down even when the delete's response —
+  // or the server — dies first. A leaked Running record keeps routing
+  // traffic to a dead pod and would be wrongly re-adopted as a
+  // survivor after a kubelet restart. Retry until the server confirms
+  // it gone; NotFound means an earlier attempt (or an eviction's
+  // parallel delete) already won. Pod names are never reused, so the
+  // retry can never delete a successor.
+  const std::uint64_t session = harness_.session();
+  harness_.api().Delete(
+      kKindPod, pod_key.substr(pod_key.find('/') + 1),
+      [this, pod_key, session](Status status) {
+        if (harness_.crashed() || harness_.session() != session) return;
+        if (status.ok() || status.code() == StatusCode::kNotFound) return;
+        env_.engine.ScheduleAfter(
+            env_.cost.watch_retry_backoff, [this, pod_key, session] {
+              if (harness_.crashed() || harness_.session() != session) return;
+              DeletePublished(pod_key);
+            });
       });
 }
 

@@ -48,6 +48,9 @@ class Kubelet {
   void Crash() { harness_.Crash(); }
   void Restart() { harness_.Restart(); }
 
+  // Fault-injection seams (crash-point sweep).
+  runtime::ControllerHarness& harness() { return harness_; }
+
   const std::string& node_name() const { return node_name_; }
 
   // Local resource-pressure eviction (the trigger of Anomaly #1): the
@@ -68,6 +71,10 @@ class Kubelet {
   void OnSandboxReady(const std::string& pod_key);
   void Publish(const model::ApiObject& pod);
   void Terminate(const std::string& pod_key, bool notify_upstream);
+  // Durable unpublish: deletes a terminated pod's API record, retrying
+  // across outages until the server confirms it gone (NotFound counts
+  // — an earlier attempt or a parallel eviction delete won).
+  void DeletePublished(const std::string& pod_key);
   void DrainAllKdPods();
   // Crash recovery (Kd): re-adopts this node's published pods from the
   // API server, retrying until it succeeds, then opens the upstream

@@ -39,6 +39,9 @@ class ReplicaSetController {
   void Crash() { harness_.Crash(); }
   void Restart() { harness_.Restart(); }
 
+  // Fault-injection seams (crash-point sweep).
+  runtime::ControllerHarness& harness() { return harness_; }
+
   bool link_ready() const { return harness_.link_ready(); }
 
   // Visible (non-tombstoned) pods owned by `rs_name` in this

@@ -42,6 +42,9 @@ class Scheduler {
   void Crash() { harness_.Crash(); }
   void Restart() { harness_.Restart(); }
 
+  // Fault-injection seams (crash-point sweep).
+  runtime::ControllerHarness& harness() { return harness_; }
+
   // Synchronous termination (§4.3): terminates `pod_key` and invokes
   // `done` only after the owning Kubelet's invalidation signal arrives
   // (Kd mode) or the API delete completes (K8s mode).

@@ -14,7 +14,7 @@ HierarchyClient::HierarchyClient(
     std::string peer_address, runtime::ObjectCache& cache,
     std::string kind_filter,
     std::function<bool(const model::ApiObject&)> scope, Callbacks callbacks,
-    MetricsRecorder* metrics)
+    MetricsRecorder* metrics, FaultPoint* fault)
     : engine_(engine),
       cost_(cost),
       endpoint_(endpoint),
@@ -24,6 +24,7 @@ HierarchyClient::HierarchyClient(
       scope_(std::move(scope)),
       callbacks_(std::move(callbacks)),
       metrics_(metrics),
+      fault_(fault),
       backoff_(cost.kd_reconnect_backoff) {}
 
 HierarchyClient::~HierarchyClient() { Stop(); }
@@ -165,6 +166,9 @@ void HierarchyClient::FinishHandshake() {
 }
 
 void HierarchyClient::OnMessage(WireMessage msg) {
+  // Numbered-message crash seam: an armed index surprise-shuts the
+  // owning controller down mid-receive; the message dies with it.
+  if (fault_ != nullptr && fault_->Tick()) return;
   switch (msg.type) {
     case WireMessage::Type::kStateVersions:
       HandleStateVersions(msg);
@@ -258,14 +262,15 @@ HierarchyServer::HierarchyServer(sim::Engine& engine, const CostModel& cost,
                                  net::Endpoint& endpoint,
                                  runtime::ObjectCache& cache,
                                  std::string kind_filter, Callbacks callbacks,
-                                 MetricsRecorder* metrics)
+                                 MetricsRecorder* metrics, FaultPoint* fault)
     : engine_(engine),
       cost_(cost),
       endpoint_(endpoint),
       cache_(cache),
       kind_filter_(std::move(kind_filter)),
       callbacks_(std::move(callbacks)),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      fault_(fault) {}
 
 void HierarchyServer::Start() {
   if (started_) return;
@@ -303,6 +308,8 @@ void HierarchyServer::OnAccept(net::ConnHandlePtr conn) {
 }
 
 void HierarchyServer::OnMessage(WireMessage msg) {
+  // Numbered-message crash seam (see HierarchyClient::OnMessage).
+  if (fault_ != nullptr && fault_->Tick()) return;
   switch (msg.type) {
     case WireMessage::Type::kStateRequest: {
       WireMessage snapshot;

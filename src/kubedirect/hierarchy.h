@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/cost_model.h"
+#include "common/fault_point.h"
 #include "common/metrics.h"
 #include "kubedirect/link.h"
 #include "kubedirect/message.h"
@@ -75,11 +76,15 @@ class HierarchyClient {
   // with this peer (e.g. pods bound to this Kubelet's node); null means
   // everything. `kind_filter`: only objects of this kind participate
   // ("" = all).
+  // `fault` (optional): the owning controller's numbered-message crash
+  // seam — every message received on this link ticks it; an armed
+  // index drops that message and surprise-shuts the owner down.
   HierarchyClient(sim::Engine& engine, const CostModel& cost,
                   net::Endpoint& endpoint, std::string peer_address,
                   runtime::ObjectCache& cache, std::string kind_filter,
                   std::function<bool(const model::ApiObject&)> scope,
-                  Callbacks callbacks, MetricsRecorder* metrics = nullptr);
+                  Callbacks callbacks, MetricsRecorder* metrics = nullptr,
+                  FaultPoint* fault = nullptr);
   ~HierarchyClient();
 
   HierarchyClient(const HierarchyClient&) = delete;
@@ -125,6 +130,7 @@ class HierarchyClient {
   std::function<bool(const model::ApiObject&)> scope_;
   Callbacks callbacks_;
   MetricsRecorder* metrics_;
+  FaultPoint* fault_;
 
   KdLinkPtr link_;
   bool started_ = false;
@@ -162,10 +168,13 @@ class HierarchyServer {
     std::function<void()> on_upstream_connected;
   };
 
+  // `fault`: see HierarchyClient — received messages tick the owner's
+  // crash seam.
   HierarchyServer(sim::Engine& engine, const CostModel& cost,
                   net::Endpoint& endpoint, runtime::ObjectCache& cache,
                   std::string kind_filter, Callbacks callbacks,
-                  MetricsRecorder* metrics = nullptr);
+                  MetricsRecorder* metrics = nullptr,
+                  FaultPoint* fault = nullptr);
 
   HierarchyServer(const HierarchyServer&) = delete;
   HierarchyServer& operator=(const HierarchyServer&) = delete;
@@ -195,6 +204,7 @@ class HierarchyServer {
   std::string kind_filter_;
   Callbacks callbacks_;
   MetricsRecorder* metrics_;
+  FaultPoint* fault_;
   KdLinkPtr link_;
   bool started_ = false;
 };

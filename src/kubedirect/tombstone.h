@@ -14,14 +14,22 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_point.h"
 #include "common/time.h"
 
 namespace kd::kubedirect {
 
 class TombstoneTracker {
  public:
+  // Numbered-operation crash seam: every Add() ticks it; an armed
+  // index drops that intent (the crash races the tombstone write — it
+  // never reaches the session-scoped table) and surprise-shuts the
+  // owning controller down via the fault's on_fire hook.
+  void set_fault(FaultPoint* fault) { fault_ = fault; }
+
   // Registers a termination intent for `key`. Idempotent.
   void Add(const std::string& key, Time now) {
+    if (fault_ != nullptr && fault_->Tick()) return;
     tombstones_.emplace(key, now);
   }
 
@@ -54,6 +62,7 @@ class TombstoneTracker {
   }
 
  private:
+  FaultPoint* fault_ = nullptr;
   std::map<std::string, Time> tombstones_;  // key -> creation time
 };
 

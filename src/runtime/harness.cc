@@ -11,7 +11,23 @@ ControllerHarness::ControllerHarness(Env& env, Mode mode, Options options)
       api_(env.engine, env.apiserver, options_.client_id, options_.qps,
            options_.burst, options_.api_metrics ? &env.metrics : nullptr),
       loop_(env.engine, env.cost, options_.name, &env.metrics),
-      endpoint_(env.network, options_.address) {}
+      endpoint_(env.network, options_.address) {
+  // A fired crash seam surprise-shuts this controller down. The crash
+  // is deferred one engine step: the seam fires from inside a
+  // HierarchyClient/Server message handler or a tombstone Add — code
+  // owned by the very objects Crash() destroys. The session capture
+  // dead-letters the deferred crash if an intervening Crash()/Restart()
+  // already happened.
+  auto surprise_shutdown = [this] {
+    const std::uint64_t armed_session = session_;
+    env_.engine.ScheduleAfter(0, [this, armed_session] {
+      if (!crashed_ && session_ == armed_session) Crash();
+    });
+  };
+  handshake_fault_.set_on_fire(surprise_shutdown);
+  tombstone_fault_.set_on_fire(surprise_shutdown);
+  tombstones_.set_fault(&tombstone_fault_);
+}
 
 ControllerHarness::~ControllerHarness() {
   for (auto& [id, client] : dynamic_downstreams_) {
@@ -74,7 +90,8 @@ std::unique_ptr<kubedirect::HierarchyClient> ControllerHarness::MakeClient(
   return std::make_unique<kubedirect::HierarchyClient>(
       env_.engine, env_.cost, endpoint_, spec.peer,
       spec.cache != nullptr ? *spec.cache : scratch_, spec.kind_filter,
-      std::move(spec.scope), std::move(spec.callbacks), &env_.metrics);
+      std::move(spec.scope), std::move(spec.callbacks), &env_.metrics,
+      &handshake_fault_);
 }
 
 void ControllerHarness::OnStaticLinkReady(const kubedirect::ChangeSet&) {
@@ -199,6 +216,15 @@ void ControllerHarness::RelistRawWatch(std::size_t index,
 }
 
 void ControllerHarness::Start() {
+  if (crashed_) {
+    // Restart after a crash: injected faults die with the process, and
+    // the client's fault counters zero like a fresh exporter's
+    // (per-incarnation counts; lifetime totals such as
+    // "apiserver.crashes" live outside any process and survive).
+    handshake_fault_.Disarm();
+    tombstone_fault_.Disarm();
+    env_.metrics.ResetCounterPrefix("client." + options_.client_id + ".");
+  }
   crashed_ = false;
   ++session_;
   if (have_upstream_spec_ && upstream_spec_.downstream_first) {
@@ -219,7 +245,8 @@ void ControllerHarness::Start() {
     upstream_ = std::make_unique<kubedirect::HierarchyServer>(
         env_.engine, env_.cost, endpoint_,
         upstream_spec_.cache != nullptr ? *upstream_spec_.cache : scratch_,
-        upstream_spec_.kind_filter, upstream_spec_.callbacks, &env_.metrics);
+        upstream_spec_.kind_filter, upstream_spec_.callbacks, &env_.metrics,
+        &handshake_fault_);
     if (!upstream_spec_.downstream_first) {
       upstream_started_ = true;
       upstream_->Start();
@@ -251,6 +278,10 @@ void ControllerHarness::Start() {
 void ControllerHarness::Crash() {
   crashed_ = true;
   if (on_crash_) on_crash_();
+  // A dead process cannot re-send: its client's queued retries must
+  // not land writes after the crash (ghost records no incarnation
+  // owns). In-flight chains complete with kCancelled instead.
+  api_.AbandonPending();
   tombstones_.Clear();  // session-scoped intents (§4.3)
   deferred_keys_.clear();
   deferred_set_.clear();

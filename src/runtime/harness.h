@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "apiserver/client.h"
+#include "common/fault_point.h"
 #include "kubedirect/hierarchy.h"
 #include "kubedirect/tombstone.h"
 #include "net/network.h"
@@ -164,6 +165,19 @@ class ControllerHarness {
     return static_downstream_ != nullptr && static_downstream_->ready();
   }
 
+  // --- numbered-operation crash seams -------------------------------
+  // handshake_fault(): ticked by every KubeDirect message this
+  // controller receives, across all of its links (upstream server and
+  // every downstream client). tombstone_fault(): ticked by every
+  // TombstoneTracker::Add. An armed index drops that operation and
+  // surprise-shuts the controller down (Crash() is deferred one engine
+  // step — firing happens inside the very object Crash() destroys).
+  // Restarting after a crash disarms both: the injected fault dies
+  // with the process. Disarmed seams still count operations, so a
+  // dry run measures how many points a scenario exercises.
+  FaultPoint& handshake_fault() { return handshake_fault_; }
+  FaultPoint& tombstone_fault() { return tombstone_fault_; }
+
  private:
   struct SyncBinding {
     ObjectCache* cache;
@@ -209,6 +223,8 @@ class ControllerHarness {
   ControlLoop loop_;
   net::Endpoint endpoint_;
   kubedirect::TombstoneTracker tombstones_;
+  FaultPoint handshake_fault_;
+  FaultPoint tombstone_fault_;
   ObjectCache scratch_;  // intentionally empty (level-triggered links)
 
   std::vector<SyncBinding> syncs_;

@@ -23,6 +23,7 @@
 
 #include "cluster/cluster.h"
 #include "common/strings.h"
+#include "crashpoint/scenario.h"
 #include "faas/backend.h"
 #include "faas/platform.h"
 #include "sim/engine.h"
@@ -131,6 +132,62 @@ TEST(DeterminismTest, FaasReplayTraceIsByteIdenticalAcrossRuns) {
   std::printf("[trace] faas-replay: %zu bytes, fingerprint %016llx\n",
               first.size(),
               static_cast<unsigned long long>(Fnv1a(first)));
+}
+
+// --- Crash-point injection determinism --------------------------------
+// The crash-point scenario takes no seed — (victim, index) fully
+// determines the run. Two runs with the same injection point must
+// produce byte-identical event traces: the sweep's reproducibility
+// (replay any failing point by its index alone) depends on it.
+
+class CrashPointDeterminismTest
+    : public ::testing::TestWithParam<
+          std::pair<crashpoint::Victim, std::uint64_t>> {};
+
+TEST_P(CrashPointDeterminismTest, SameInjectionPointIsByteIdentical) {
+  const auto& [victim, index] = GetParam();
+  std::string first;
+  const crashpoint::ScenarioResult result =
+      crashpoint::RunScenario(victim, index, &first);
+  if (::testing::Test::HasFatalFailure()) return;
+  std::string second;
+  crashpoint::RunScenario(victim, index, &second);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  std::printf("[trace] crashpoint %s@%llu: %zu bytes, fired=%d, "
+              "fingerprint %016llx\n",
+              crashpoint::VictimName(victim),
+              static_cast<unsigned long long>(index), first.size(),
+              result.fired ? 1 : 0,
+              static_cast<unsigned long long>(Fnv1a(first)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, CrashPointDeterminismTest,
+    ::testing::Values(
+        std::make_pair(crashpoint::Victim::kEtcdPersist, std::uint64_t{4}),
+        std::make_pair(crashpoint::Victim::kSchedulerHandshake,
+                       std::uint64_t{3}),
+        std::make_pair(crashpoint::Victim::kReplicaSetTombstone,
+                       std::uint64_t{1})));
+
+// A disarmed seam is behaviorally inert, and an armed-but-unfired one
+// is identical to it: the no-fault trace must match a dry run exactly
+// — this is what keeps the repo's baseline fingerprints stable while
+// the seams sit in the hot paths.
+TEST(DeterminismTest, UnfiredCrashSeamLeavesTraceUntouched) {
+  std::string dry;
+  crashpoint::RunScenario(crashpoint::Victim::kEtcdPersist,
+                          crashpoint::kNoFault, &dry);
+  if (::testing::Test::HasFatalFailure()) return;
+  // Armed far past anything the scenario reaches: never fires.
+  std::string armed;
+  const crashpoint::ScenarioResult result = crashpoint::RunScenario(
+      crashpoint::Victim::kEtcdPersist, std::uint64_t{1} << 40, &armed);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_FALSE(result.fired);
+  EXPECT_EQ(dry, armed);
 }
 
 // --- Cancel semantics against the slot/generation implementation ------
