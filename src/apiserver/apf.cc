@@ -1,0 +1,46 @@
+#include "apiserver/apf.h"
+
+#include <utility>
+
+namespace kd::apiserver {
+
+void ApfQueue::Submit(const std::string& flow, std::function<void()> admit) {
+  if (seats_ <= 0) {
+    admit();
+    return;
+  }
+  if (in_service_ < seats_) {
+    ++in_service_;
+    admit();
+    return;
+  }
+  queues_[flow].push_back(std::move(admit));
+  ++queued_;
+}
+
+void ApfQueue::Release() {
+  if (seats_ <= 0) return;
+  if (queued_ == 0) {
+    if (in_service_ > 0) --in_service_;
+    return;
+  }
+  // The seat transfers directly to the next flow after the cursor
+  // (wrapping), FIFO within that flow. in_service_ stays constant.
+  auto it = queues_.upper_bound(cursor_);
+  if (it == queues_.end()) it = queues_.begin();
+  cursor_ = it->first;
+  std::function<void()> next = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  --queued_;
+  next();
+}
+
+void ApfQueue::Reset() {
+  queues_.clear();
+  queued_ = 0;
+  in_service_ = 0;
+  cursor_.clear();
+}
+
+}  // namespace kd::apiserver

@@ -1,0 +1,59 @@
+// APF-style priority-and-fairness admission for one API server: the
+// per-flow fair queueing Kubernetes layers in front of its handler
+// pool (KEP-1040), modelled at the granularity the paper cares about —
+// an elephant client (a controller in a hot reconcile loop) must not
+// starve a mouse (a kubelet posting one status update).
+//
+// A flow is the client identity (ApiClient name). `seats` bounds how
+// many requests may be in service concurrently; excess requests queue
+// FIFO within their flow and are dispatched round-robin across flows
+// in sorted flow-name order — deterministic, no wall clock, no
+// randomness (kdlint R1/R2 clean by construction).
+//
+// seats == 0 disables APF entirely: Submit runs the request inline and
+// Release is a no-op, so the default configuration adds zero events
+// and keeps every existing trace byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace kd::apiserver {
+
+class ApfQueue {
+ public:
+  // seats <= 0 disables admission control (pass-through).
+  void Configure(int seats) { seats_ = seats; }
+  bool enabled() const { return seats_ > 0; }
+
+  // Admits `admit` for `flow`: runs it synchronously if a seat is free
+  // (or APF is disabled), otherwise queues it. The seat is held until
+  // the matching Release() at service completion.
+  void Submit(const std::string& flow, std::function<void()> admit);
+
+  // Frees one seat and synchronously dispatches the next queued
+  // request, round-robin across flows (sorted flow names, rotating
+  // cursor) and FIFO within a flow.
+  void Release();
+
+  // Crash: queued work dies with the process and every seat frees
+  // (their responses were already failed by the owner's crash path).
+  void Reset();
+
+  std::size_t queued() const { return queued_; }
+  int in_service() const { return in_service_; }
+
+ private:
+  int seats_ = 0;
+  int in_service_ = 0;
+  std::size_t queued_ = 0;
+  // flow -> FIFO of admitted-but-waiting requests. Ordered map: the
+  // round-robin scan order is the sorted flow-name order.
+  std::map<std::string, std::deque<std::function<void()>>> queues_;
+  std::string cursor_;  // flow served last; next scan starts above it
+};
+
+}  // namespace kd::apiserver

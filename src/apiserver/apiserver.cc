@@ -20,6 +20,7 @@ ApiServer::ApiServer(sim::Engine& engine, CostModel cost)
   worker_free_.assign(static_cast<std::size_t>(
                           std::max(1, cost_.api_server_workers)),
                       0);
+  apf_.Configure(cost_.apf_seats);
 }
 
 Time ApiServer::AcquireWorker(Duration service_time) {
@@ -78,8 +79,9 @@ void ApiServer::Broadcast(WatchEventType type, const model::ApiObject& obj) {
   }
 }
 
-void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
-                      bool is_write, std::function<CommitResult()> commit,
+void ApiServer::Serve(const std::string& flow, std::size_t request_bytes,
+                      std::size_t response_bytes, bool is_write,
+                      std::function<CommitResult()> commit,
                       std::function<void(CommitResult)> respond) {
   if (!up_) {
     // Dead server: the request neither queues nor commits — it hangs
@@ -97,12 +99,6 @@ void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
   metrics_.Count("api_bytes_in", static_cast<std::int64_t>(request_bytes));
   const Time arrival = engine_.now();
 
-  const Duration service =
-      cost_.api_processing +
-      static_cast<Duration>(static_cast<double>(request_bytes) *
-                            cost_.serialize_ns_per_byte);
-  const Time service_done = AcquireWorker(service);
-
   // Registered until the response is delivered; Crash() fails every
   // registered request and bumps the epoch, which disarms the closures
   // below (queued service work and in-flight responses die with the
@@ -111,6 +107,8 @@ void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
   const std::uint64_t id = next_request_id_++;
   const std::uint64_t epoch = epoch_;
   pending_.emplace(id, respond_shared);
+  metrics_.RecordMax("api.inflight_max",
+                     static_cast<std::int64_t>(pending_.size()));
 
   auto finish = [this, id, epoch, arrival, response_bytes,
                  respond_shared](CommitResult result, Time commit_done) {
@@ -131,18 +129,42 @@ void ApiServer::Serve(std::size_t request_bytes, std::size_t response_bytes,
                        });
   };
 
-  engine_.ScheduleAt(
-      service_done,
-      [this, epoch, is_write, commit = std::move(commit),
-       finish = std::move(finish)]() mutable {
-        if (epoch != epoch_) return;  // died before servicing: no commit
-        CommitResult result = commit();
-        Time done = engine_.now();
-        if (is_write && result.status.ok()) {
-          done = AcquireEtcd(done);
-        }
-        finish(std::move(result), done);
-      });
+  // Admission, then the worker pool. With APF disabled `Submit` runs
+  // the closure inline, so this path is event-for-event identical to
+  // the unsharded server. A queued request holds no worker; it gets
+  // one when a seat frees (Release below), which is when admission
+  // control actually changes who waits: the worker-pool backlog is
+  // FIFO by arrival, the APF queue is fair across flows.
+  apf_.Submit(flow, [this, epoch, is_write, request_bytes,
+                     commit = std::move(commit),
+                     finish = std::move(finish)]() mutable {
+    if (epoch != epoch_) return;  // crashed while queued (defensive)
+    const Duration service =
+        cost_.api_processing +
+        static_cast<Duration>(static_cast<double>(request_bytes) *
+                              cost_.serialize_ns_per_byte);
+    const Time service_done = AcquireWorker(service);
+    engine_.ScheduleAt(
+        service_done,
+        [this, epoch, is_write, commit = std::move(commit),
+         finish = std::move(finish)]() mutable {
+          if (epoch != epoch_) return;  // died before servicing: no commit
+          CommitResult result = commit();
+          Time done = engine_.now();
+          if (is_write && result.status.ok()) {
+            done = AcquireEtcd(done);
+          }
+          // Seat frees at service completion; the next queued flow is
+          // dispatched synchronously (no-op when APF is disabled or
+          // the process crashed inside commit — Reset cleared it).
+          apf_.Release();
+          finish(std::move(result), done);
+        });
+  });
+  if (apf_.enabled()) {
+    metrics_.RecordMax("apf.queue_depth_max",
+                       static_cast<std::int64_t>(apf_.queued()));
+  }
 }
 
 void ApiServer::Crash() {
@@ -161,6 +183,9 @@ void ApiServer::Crash() {
         });
   }
   pending_.clear();
+  // Queued-but-unadmitted requests die with the process (their
+  // responses were failed above via pending_); every APF seat frees.
+  apf_.Reset();
   // Watch streams die; subscribers that registered a break handler
   // learn after the delivery latency and must re-list on reconnect.
   for (auto& [id, watcher] : watchers_) {
@@ -190,11 +215,11 @@ void ApiServer::Restart() {
 }
 
 void ApiServer::HandleCreate(
-    model::ApiObject obj,
+    const std::string& flow, model::ApiObject obj,
     std::function<void(StatusOr<model::ApiObject>)> done) {
   const std::size_t bytes = obj.SerializedSize();
   Serve(
-      bytes, bytes, /*is_write=*/true,
+      flow, bytes, bytes, /*is_write=*/true,
       [this, obj = std::move(obj)]() mutable -> CommitResult {
         const std::string key = obj.Key();
         auto it = store_.find(key);
@@ -225,11 +250,11 @@ void ApiServer::HandleCreate(
 }
 
 void ApiServer::HandleUpdate(
-    model::ApiObject obj,
+    const std::string& flow, model::ApiObject obj,
     std::function<void(StatusOr<model::ApiObject>)> done) {
   const std::size_t bytes = obj.SerializedSize();
   Serve(
-      bytes, bytes, /*is_write=*/true,
+      flow, bytes, bytes, /*is_write=*/true,
       [this, obj = std::move(obj)]() mutable -> CommitResult {
         const std::string key = obj.Key();
         auto it = store_.find(key);
@@ -267,10 +292,11 @@ void ApiServer::HandleUpdate(
       });
 }
 
-void ApiServer::HandleDelete(const std::string& kind, const std::string& name,
+void ApiServer::HandleDelete(const std::string& flow,
+                             const std::string& kind, const std::string& name,
                              std::function<void(Status)> done) {
   Serve(
-      kind.size() + name.size() + 64, 64, /*is_write=*/true,
+      flow, kind.size() + name.size() + 64, 64, /*is_write=*/true,
       [this, kind, name]() -> CommitResult {
         const std::string key = model::ApiObject::MakeKey(kind, name);
         auto it = store_.find(key);
@@ -295,14 +321,14 @@ void ApiServer::HandleDelete(const std::string& kind, const std::string& name,
 }
 
 void ApiServer::HandleGet(
-    const std::string& kind, const std::string& name,
+    const std::string& flow, const std::string& kind, const std::string& name,
     std::function<void(StatusOr<model::ApiObject>)> done) {
   const std::string key = model::ApiObject::MakeKey(kind, name);
   auto it = store_.find(key);
   const std::size_t response_bytes =
       it == store_.end() ? 64 : it->second.SerializedSize();
   Serve(
-      key.size() + 64, response_bytes, /*is_write=*/false,
+      flow, key.size() + 64, response_bytes, /*is_write=*/false,
       [this, key]() -> CommitResult {
         auto it2 = store_.find(key);
         if (it2 == store_.end()) return {NotFoundError(key), {}};
@@ -318,16 +344,16 @@ void ApiServer::HandleGet(
 }
 
 void ApiServer::HandleList(
-    const std::string& kind,
+    const std::string& flow, const std::string& kind,
     std::function<void(StatusOr<std::vector<model::ApiObject>>)> done) {
-  HandleListAt(kind,
+  HandleListAt(flow, kind,
                [done = std::move(done)](
                    StatusOr<std::vector<model::ApiObject>> result,
                    std::uint64_t) mutable { done(std::move(result)); });
 }
 
 void ApiServer::HandleListAt(
-    const std::string& kind,
+    const std::string& flow, const std::string& kind,
     std::function<void(StatusOr<std::vector<model::ApiObject>>,
                        std::uint64_t)>
         done) {
@@ -342,7 +368,7 @@ void ApiServer::HandleListAt(
   auto snapshot = std::make_shared<std::vector<model::ApiObject>>();
   auto at_revision = std::make_shared<std::uint64_t>(0);
   Serve(
-      kind.size() + 64, response_bytes, /*is_write=*/false,
+      flow, kind.size() + 64, response_bytes, /*is_write=*/false,
       [this, kind, snapshot, at_revision]() -> CommitResult {
         for (const auto& [key, obj] : store_) {
           if (obj.kind == kind) snapshot->push_back(obj);

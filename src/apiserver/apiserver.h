@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "apiserver/apf.h"
 #include "common/cost_model.h"
 #include "common/fault_point.h"
 #include "common/metrics.h"
@@ -63,29 +64,60 @@ class ApiServer {
   // --- server-side request handlers ----------------------------------
   // Invoked by ApiClient after client-side costs; `done` fires after
   // the response has travelled back. Handlers may also be called
-  // directly by tests.
-  void HandleCreate(model::ApiObject obj,
+  // directly by tests. `flow` is the APF flow identity (the client
+  // name); the flow-less overloads use the anonymous flow — identical
+  // behaviour unless apf_seats > 0.
+  void HandleCreate(const std::string& flow, model::ApiObject obj,
                     std::function<void(StatusOr<model::ApiObject>)> done);
+  void HandleCreate(model::ApiObject obj,
+                    std::function<void(StatusOr<model::ApiObject>)> done) {
+    HandleCreate(std::string(), std::move(obj), std::move(done));
+  }
   // Optimistic concurrency: obj.resource_version must match the stored
   // version or the update fails with kConflict.
-  void HandleUpdate(model::ApiObject obj,
+  void HandleUpdate(const std::string& flow, model::ApiObject obj,
                     std::function<void(StatusOr<model::ApiObject>)> done);
+  void HandleUpdate(model::ApiObject obj,
+                    std::function<void(StatusOr<model::ApiObject>)> done) {
+    HandleUpdate(std::string(), std::move(obj), std::move(done));
+  }
+  void HandleDelete(const std::string& flow, const std::string& kind,
+                    const std::string& name, std::function<void(Status)> done);
   void HandleDelete(const std::string& kind, const std::string& name,
-                    std::function<void(Status)> done);
-  void HandleGet(const std::string& kind, const std::string& name,
+                    std::function<void(Status)> done) {
+    HandleDelete(std::string(), kind, name, std::move(done));
+  }
+  void HandleGet(const std::string& flow, const std::string& kind,
+                 const std::string& name,
                  std::function<void(StatusOr<model::ApiObject>)> done);
+  void HandleGet(const std::string& kind, const std::string& name,
+                 std::function<void(StatusOr<model::ApiObject>)> done) {
+    HandleGet(std::string(), kind, name, std::move(done));
+  }
+  void HandleList(
+      const std::string& flow, const std::string& kind,
+      std::function<void(StatusOr<std::vector<model::ApiObject>>)> done);
   void HandleList(
       const std::string& kind,
-      std::function<void(StatusOr<std::vector<model::ApiObject>>)> done);
+      std::function<void(StatusOr<std::vector<model::ApiObject>>)> done) {
+    HandleList(std::string(), kind, std::move(done));
+  }
   // List that also reports the store revision the snapshot was taken
   // at — what a reflector needs to diff a relist against its cache
   // (absence of a key with revision <= the snapshot's means deleted).
   // Costs exactly what HandleList costs.
   void HandleListAt(
-      const std::string& kind,
+      const std::string& flow, const std::string& kind,
       std::function<void(StatusOr<std::vector<model::ApiObject>>,
                          std::uint64_t revision)>
           done);
+  void HandleListAt(
+      const std::string& kind,
+      std::function<void(StatusOr<std::vector<model::ApiObject>>,
+                         std::uint64_t revision)>
+          done) {
+    HandleListAt(std::string(), kind, std::move(done));
+  }
 
   // --- watch ------------------------------------------------------------
   // Registration is free (control-plane setup); events are delivered
@@ -148,6 +180,7 @@ class ApiServer {
   MetricsRecorder& metrics() { return metrics_; }
   const CostModel& cost() const { return cost_; }
   sim::Engine& engine() { return engine_; }
+  const ApfQueue& apf() const { return apf_; }
 
   // Current store revision (tests/benches; charges nothing).
   std::uint64_t revision() const { return revision_; }
@@ -159,13 +192,14 @@ class ApiServer {
   };
   using RespondFn = std::function<void(CommitResult)>;
 
-  // Schedules request service through the worker pool; `service_extra`
-  // is charged inside the worker on top of base processing +
-  // deserialization. `commit` runs at service completion (at the
-  // server); its result is delivered to `respond` after response
-  // serialization + network latency.
-  void Serve(std::size_t request_bytes, std::size_t response_bytes,
-             bool is_write, std::function<CommitResult()> commit,
+  // Schedules request service through the worker pool, behind APF
+  // admission when apf_seats > 0 (`flow` picks the fair queue).
+  // `commit` runs at service completion (at the server); its result is
+  // delivered to `respond` after response serialization + network
+  // latency.
+  void Serve(const std::string& flow, std::size_t request_bytes,
+             std::size_t response_bytes, bool is_write,
+             std::function<CommitResult()> commit,
              std::function<void(CommitResult)> respond);
 
   Time AcquireWorker(Duration service_time);
@@ -205,6 +239,9 @@ class ApiServer {
   Time outage_started_at_ = 0;
   Duration outage_total_ = 0;
   FaultPoint persist_fault_;
+  // APF fair queueing in front of the worker pool (disabled unless
+  // cost.apf_seats > 0; queued work dies on Crash()).
+  ApfQueue apf_;
 
   std::vector<AdmissionHook> admission_hooks_;
   MetricsRecorder metrics_;

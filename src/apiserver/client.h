@@ -22,6 +22,7 @@
 
 #include "apiserver/apiserver.h"
 #include "apiserver/rate_limiter.h"
+#include "apiserver/shard.h"
 #include "common/active_tracker.h"
 #include "common/cost_model.h"
 
@@ -58,6 +59,12 @@ class ApiClient {
   ApiClient(sim::Engine& engine, ApiServer& server, std::string client_name,
             double qps, double burst, MetricsRecorder* metrics = nullptr,
             RetryPolicy retry = {});
+  // Sharded control plane: writes route by object key through the
+  // plane's ShardRouter; lists fan out across every shard and merge.
+  // With a 1-shard plane this is identical to the single-server ctor.
+  ApiClient(sim::Engine& engine, ControlPlane& plane, std::string client_name,
+            double qps, double burst, MetricsRecorder* metrics = nullptr,
+            RetryPolicy retry = {});
 
   void Create(model::ApiObject obj,
               std::function<void(StatusOr<model::ApiObject>)> done);
@@ -67,13 +74,30 @@ class ApiClient {
               std::function<void(Status)> done);
   void Get(const std::string& kind, const std::string& name,
            std::function<void(StatusOr<model::ApiObject>)> done);
+  // Whole-keyspace list: with one shard a plain list; with S shards,
+  // one list per shard inside a single retry unit (any shard's
+  // transport failure retries the whole fan-out), results merged in
+  // global key order.
   void List(const std::string& kind,
             std::function<void(StatusOr<std::vector<model::ApiObject>>)> done);
   // List carrying the snapshot's store revision (reflector relists).
+  // With S shards the reported revision is the max across shards —
+  // only meaningful as a freshness hint; per-shard reflectors use
+  // ListShardAt and keep per-shard revisions instead.
   void ListAt(const std::string& kind,
               std::function<void(StatusOr<std::vector<model::ApiObject>>,
                                  std::uint64_t revision)>
                   done);
+  // Single-shard list: one shard's slice of the kind, at that shard's
+  // store revision. Shard 0 of an unsharded client is exactly List/
+  // ListAt. Per-shard reflectors (Informer sources) live on these.
+  void ListShard(
+      int shard, const std::string& kind,
+      std::function<void(StatusOr<std::vector<model::ApiObject>>)> done);
+  void ListShardAt(int shard, const std::string& kind,
+                   std::function<void(StatusOr<std::vector<model::ApiObject>>,
+                                      std::uint64_t revision)>
+                       done);
 
   // Abandons every in-flight call and retry chain: each completes with
   // kCancelled (trackers settle; nothing re-sends). Invoked when the
@@ -88,6 +112,8 @@ class ApiClient {
   const RetryPolicy& retry_policy() const { return retry_; }
   // API calls issued (post rate limiting), including retries.
   std::uint64_t calls_issued() const { return calls_issued_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardRouter& router() const { return router_; }
 
  private:
   // Applies rate limit + client serialization + uplink latency, then
@@ -157,8 +183,16 @@ class ApiClient {
     });
   }
 
+  ApiServer& ShardForKey(const std::string& key) {
+    return *shards_[static_cast<std::size_t>(router_.ShardForKey(key))];
+  }
+
   sim::Engine& engine_;
-  ApiServer& server_;
+  // One endpoint per shard (a single entry for an unsharded server);
+  // the router copies the plane's, so client and plane always agree on
+  // key placement.
+  std::vector<ApiServer*> shards_;
+  ShardRouter router_;
   std::string name_;
   TokenBucket limiter_;
   ActiveTracker tracker_;

@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <cstdlib>
+
 #include "common/strings.h"
 #include "kubedirect/ownership.h"
 #include "model/objects.h"
@@ -9,16 +11,26 @@ namespace kd::cluster {
 using controllers::Mode;
 using model::ApiObject;
 
+int DefaultNumShards() {
+  // The CI shard-matrix knob, read once at cluster construction —
+  // never inside simulated time, so runs stay reproducible per value.
+  // kdlint: allow(R1) config knob read outside simulated time
+  const char* env = std::getenv("KD_SHARDS");
+  if (env == nullptr) return 1;
+  const int n = std::atoi(env);
+  return n < 1 ? 1 : n;
+}
+
 Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     : engine_(engine), config_(std::move(config)) {
   network_ = std::make_unique<net::Network>(engine_);
-  apiserver_ =
-      std::make_unique<apiserver::ApiServer>(engine_, config_.cost);
+  control_plane_ = std::make_unique<apiserver::ControlPlane>(
+      engine_, config_.cost, config_.num_shards);
   env_ = std::make_unique<runtime::Env>(runtime::Env{
-      engine_, *network_, *apiserver_, config_.cost, metrics_});
+      engine_, *network_, *control_plane_, config_.cost, metrics_});
 
   if (config_.mode == Mode::kKd) {
-    apiserver_->AddAdmissionHook(kubedirect::MakeReplicasGuard());
+    control_plane_->AddAdmissionHook(kubedirect::MakeReplicasGuard());
   }
 
   autoscaler_ = std::make_unique<controllers::Autoscaler>(*env_, config_.mode);
@@ -60,7 +72,7 @@ void Cluster::Boot() {
   // Node objects first (the Scheduler's informer discovers them and, in
   // Kd mode, dials each Kubelet).
   for (int i = 0; i < config_.num_nodes; ++i) {
-    apiserver_->SeedObject(model::MakeNode(NodeName(i), config_.node_cpu_milli,
+    control_plane_->SeedObject(model::MakeNode(NodeName(i), config_.node_cpu_milli,
                                            config_.node_memory_mb));
   }
   for (auto& kubelet : kubelets_) kubelet->Start();
@@ -110,9 +122,9 @@ void Cluster::RegisterFunction(const std::string& name,
   if (config_.mode == Mode::kKd) {
     model::SetKubeDirectManaged(rs, true);
   }
-  apiserver_->SeedObject(std::move(deployment));
-  apiserver_->SeedObject(std::move(rs));
-  apiserver_->SeedObject(model::MakeService(name));
+  control_plane_->SeedObject(std::move(deployment));
+  control_plane_->SeedObject(std::move(rs));
+  control_plane_->SeedObject(model::MakeService(name));
 }
 
 void Cluster::ScaleTo(const std::string& function_name,
@@ -122,7 +134,7 @@ void Cluster::ScaleTo(const std::string& function_name,
 
 std::size_t Cluster::ReadyPodCount(const std::string& function_name) const {
   std::size_t n = 0;
-  for (const ApiObject* pod : apiserver_->PeekAll(model::kKindPod)) {
+  for (const ApiObject* pod : control_plane_->PeekAll(model::kKindPod)) {
     if (model::GetLabel(*pod, "app") == function_name &&
         model::GetPodPhase(*pod) == model::PodPhase::kRunning) {
       ++n;
@@ -133,7 +145,7 @@ std::size_t Cluster::ReadyPodCount(const std::string& function_name) const {
 
 std::size_t Cluster::TotalReadyPods() const {
   std::size_t n = 0;
-  for (const ApiObject* pod : apiserver_->PeekAll(model::kKindPod)) {
+  for (const ApiObject* pod : control_plane_->PeekAll(model::kKindPod)) {
     if (model::GetPodPhase(*pod) == model::PodPhase::kRunning) ++n;
   }
   return n;
@@ -142,7 +154,7 @@ std::size_t Cluster::TotalReadyPods() const {
 std::vector<std::string> Cluster::ReadyPodAddresses(
     const std::string& function_name) const {
   std::vector<std::string> out;
-  for (const ApiObject* pod : apiserver_->PeekAll(model::kKindPod)) {
+  for (const ApiObject* pod : control_plane_->PeekAll(model::kKindPod)) {
     if (model::GetLabel(*pod, "app") == function_name &&
         model::GetPodPhase(*pod) == model::PodPhase::kRunning) {
       out.push_back(model::GetPodIp(*pod));

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "apiserver/apiserver.h"
+#include "apiserver/shard.h"
 #include "common/cost_model.h"
 #include "common/metrics.h"
 #include "controllers/autoscaler.h"
@@ -37,6 +38,10 @@ namespace kd::cluster {
 
 enum class SandboxKind { kStock, kDirigent };
 
+// Control-plane shard count for newly built clusters: the KD_SHARDS
+// environment variable (the CI S∈{1,4} matrix), defaulting to 1.
+int DefaultNumShards();
+
 struct ClusterConfig {
   controllers::Mode mode = controllers::Mode::kK8s;
   SandboxKind sandbox = SandboxKind::kStock;
@@ -48,6 +53,10 @@ struct ClusterConfig {
   // Use the padded ~17 KB pod template (realistic wire sizes). Tests
   // that only exercise logic can switch to the minimal template.
   bool realistic_pod_template = true;
+  // Control-plane shards (S-way keyspace partitioning). 1 = the
+  // paper's single API server; every trace is byte-identical to the
+  // pre-sharding tree at 1.
+  int num_shards = DefaultNumShards();
 
   static ClusterConfig K8s(int nodes) {
     ClusterConfig c;
@@ -108,7 +117,7 @@ class Cluster {
   // --- accessors -------------------------------------------------------
   sim::Engine& engine() { return engine_; }
   net::Network& network() { return *network_; }
-  apiserver::ApiServer& apiserver() { return *apiserver_; }
+  apiserver::ControlPlane& apiserver() { return *control_plane_; }
   runtime::Env& env() { return *env_; }
   MetricsRecorder& metrics() { return metrics_; }
   const ClusterConfig& config() const { return config_; }
@@ -139,7 +148,7 @@ class Cluster {
   ClusterConfig config_;
   MetricsRecorder metrics_;
   std::unique_ptr<net::Network> network_;
-  std::unique_ptr<apiserver::ApiServer> apiserver_;
+  std::unique_ptr<apiserver::ControlPlane> control_plane_;
   std::unique_ptr<runtime::Env> env_;
   std::unique_ptr<controllers::Autoscaler> autoscaler_;
   std::unique_ptr<controllers::DeploymentController> deployment_controller_;

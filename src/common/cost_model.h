@@ -47,6 +47,12 @@ struct CostModel {
   // How long a broken watch / failed relist waits before the informer
   // tries to re-establish the stream (client-go reflector backoff).
   Duration watch_retry_backoff = Seconds(1);
+  // APF (API priority & fairness, KEP-1040): how many requests one API
+  // server admits into service concurrently; excess requests queue
+  // per-flow (flow = client identity) and dispatch round-robin across
+  // flows. 0 disables admission control entirely — the default, so
+  // every pre-APF trace stays byte-identical.
+  int apf_seats = 0;
 
   // --- client-side rate limits (client-go token bucket) -----------------
   // Stock kube-controller-manager defaults: 20 QPS / 30 burst. The

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "apiserver/apiserver.h"
+#include "apiserver/shard.h"
 #include "common/cost_model.h"
 #include "common/metrics.h"
 #include "net/network.h"
@@ -14,7 +15,9 @@ namespace kd::runtime {
 struct Env {
   sim::Engine& engine;
   net::Network& network;
-  apiserver::ApiServer& apiserver;
+  // The (possibly sharded) control plane. Single-server tests wrap
+  // their ApiServer in a one-shard ControlPlane view.
+  apiserver::ControlPlane& apiserver;
   const CostModel& cost;
   MetricsRecorder& metrics;
 };

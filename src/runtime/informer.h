@@ -3,16 +3,30 @@
 // dance of client-go reflectors, then merges watch events into the
 // ObjectCache, whose change handlers trigger the control loop.
 //
-// Fault domain: when the API server crashes, the watch stream breaks
-// (on_break). The informer then re-establishes it reflector-style —
-// watch first, then a relist carrying the snapshot's store revision —
-// and diffs the snapshot against the local cache, synthesizing the
+// Sharded control plane: the informer runs one reflector *source* per
+// shard — its own watch stream, its own initial list, its own
+// last-seen revision, its own recovery chain. Sources are fully
+// independent: shard 2's watch break relists shard 2's slice of the
+// keyspace and never touches the caches fed by the other sources.
+// With one shard this degenerates to exactly the single-stream
+// reflector (byte-identical event trace).
+//
+// Fault domain: when a shard crashes, that source's watch stream
+// breaks (on_break). The source then re-establishes it
+// reflector-style — watch first, then a relist carrying the
+// snapshot's store revision — and diffs the snapshot against the
+// slice of the local cache the source owns, synthesizing the
 // Added/Modified/Deleted mutations missed during the outage so the
-// control loop sees one consistent level-triggered stream. After the
-// first break, merges are resourceVersion-guarded so a stale snapshot
-// or late event can never roll the cache backwards. (The no-fault
-// path is byte-identical to the pre-fault-domain informer: no guards,
-// no extra events.)
+// control loop sees one consistent level-triggered stream. After a
+// source's first break, its merges are resourceVersion-guarded so a
+// stale snapshot or late event can never roll the cache backwards.
+// (The no-fault path is byte-identical to the pre-fault-domain
+// informer: no guards, no extra events.)
+//
+// Every piece of recovery state is per-source: a blip on one shard
+// cannot mask a concurrent blip on another, and (the latent single-
+// epoch bug) a second break arriving while a relist is in flight
+// invalidates only its own source's chain.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +36,7 @@
 
 #include "apiserver/apiserver.h"
 #include "apiserver/client.h"
+#include "apiserver/shard.h"
 #include "common/metrics.h"
 #include "runtime/cache.h"
 
@@ -29,56 +44,85 @@ namespace kd::runtime {
 
 class Informer {
  public:
+  // Single-server informer (one source).
   Informer(apiserver::ApiClient& client, apiserver::ApiServer& server,
            ObjectCache& cache, MetricsRecorder* metrics = nullptr)
-      : client_(client), server_(server), cache_(cache), metrics_(metrics) {}
+      : client_(client), cache_(cache), metrics_(metrics) {
+    servers_.push_back(&server);
+  }
+  // Sharded informer: one source per shard of the plane. The client
+  // must be built over the same plane (its ListShard indices and the
+  // plane's shard indices must agree).
+  Informer(apiserver::ApiClient& client, apiserver::ControlPlane& plane,
+           ObjectCache& cache, MetricsRecorder* metrics = nullptr)
+      : client_(client), cache_(cache), metrics_(metrics) {
+    for (int i = 0; i < plane.num_shards(); ++i) {
+      servers_.push_back(&plane.shard(i));
+    }
+  }
   ~Informer() { Stop(); }
 
   Informer(const Informer&) = delete;
   Informer& operator=(const Informer&) = delete;
 
-  // Registers the watch, then lists `kind` to seed the cache. `done`
-  // fires when the initial sync finished. Watch-before-list means no
-  // event can be missed in the gap (events for objects the list also
-  // returns are harmless Upserts). If the API server is down, both
-  // legs keep retrying with watch_retry_backoff until it returns.
+  // Registers every source's watch, then lists each shard to seed the
+  // cache. `done` fires when the last source finished its initial
+  // sync. Watch-before-list means no event can be missed in the gap
+  // (events for objects the list also returns are harmless Upserts).
+  // If a shard is down, that source keeps retrying with
+  // watch_retry_backoff until it returns.
   void Start(const std::string& kind, std::function<void()> done = nullptr);
 
   void Stop();
 
   bool synced() const { return started_ && pending_syncs_ == 0; }
-  // Watch-break recoveries completed (relist + diff applied).
-  std::uint64_t resyncs() const { return resyncs_; }
+  // Watch-break recoveries completed (relist + diff applied), summed
+  // across sources.
+  std::uint64_t resyncs() const;
+  // Recoveries completed by one source — the sharded crash tests'
+  // "other shards never relisted" assertion.
+  std::uint64_t resyncs_for_shard(int shard) const {
+    return sources_[static_cast<std::size_t>(shard)].resyncs;
+  }
+  int num_sources() const { return static_cast<int>(servers_.size()); }
 
  private:
-  void HandleEvent(const apiserver::WatchEvent& event);
-  void OnWatchBreak();
-  // Initial sync: plain list, unguarded merge (the cache is empty).
-  void RunInitialList(std::function<void()> done);
-  void ScheduleRearm();
-  void Rearm();
-  void ApplySnapshot(std::vector<model::ApiObject> objects,
+  // Per-shard reflector stream. All recovery state lives here so one
+  // source's break/relist chain can never invalidate another's.
+  struct Source {
+    apiserver::WatchId watch_id = 0;
+    // Set on this source's first watch break: from then on merges
+    // from this source are resourceVersion-guarded (never in the
+    // no-fault path, which keeps its event trace byte-identical).
+    bool guard = false;
+    // Invalidates an in-flight recovery chain when this source's
+    // watch breaks again mid-relist.
+    std::uint64_t resync_epoch = 0;
+    std::uint64_t resyncs = 0;
+  };
+
+  void StartSource(int s);
+  void RunInitialList(int s);
+  void HandleEvent(int s, const apiserver::WatchEvent& event);
+  void OnWatchBreak(int s);
+  void ScheduleRearm(int s);
+  void Rearm(int s);
+  void ApplySnapshot(int s, std::vector<model::ApiObject> objects,
                      std::uint64_t revision);
+  void FinishInitialSync();
 
   apiserver::ApiClient& client_;
-  apiserver::ApiServer& server_;
+  std::vector<apiserver::ApiServer*> servers_;  // one per source
   ObjectCache& cache_;
   MetricsRecorder* metrics_;
   std::string kind_;
-  apiserver::WatchId watch_id_ = 0;
+  std::vector<Source> sources_;
   int pending_syncs_ = 0;
   bool started_ = false;
   bool running_ = false;
-  // Set on the first watch break: from then on merges are
-  // resourceVersion-guarded (never in the no-fault path, which keeps
-  // its event trace byte-identical).
-  bool guard_ = false;
-  std::uint64_t resyncs_ = 0;
-  // Stale-closure guards: session_ invalidates everything on
-  // Stop/Start; resync_epoch_ invalidates an in-flight recovery chain
-  // when the watch breaks again mid-relist.
+  std::function<void()> done_;
+  // Stale-closure guard: invalidates everything on Stop/Start.
   std::uint64_t session_ = 0;
-  std::uint64_t resync_epoch_ = 0;
 };
 
 }  // namespace kd::runtime

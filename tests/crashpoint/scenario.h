@@ -43,13 +43,18 @@ namespace kd::crashpoint {
 //   kReplicaSetTombstone — every termination intent the ReplicaSet
 //                          controller records;
 //   kSchedulerTombstone  — every termination intent the Scheduler
-//                          records.
+//                          records;
+//   kShardApiserver      — every persist of control-plane shard 1 in a
+//                          4-way sharded plane (the others stay up, so
+//                          the run also asserts shard fault isolation:
+//                          no non-victim informer source may relist).
 enum class Victim {
   kEtcdPersist,
   kSchedulerHandshake,
   kKubeletHandshake,
   kReplicaSetTombstone,
   kSchedulerTombstone,
+  kShardApiserver,
 };
 
 inline const char* VictimName(Victim v) {
@@ -64,6 +69,8 @@ inline const char* VictimName(Victim v) {
       return "replicaset-tombstone";
     case Victim::kSchedulerTombstone:
       return "scheduler-tombstone";
+    case Victim::kShardApiserver:
+      return "shard-apiserver";
   }
   return "?";
 }
@@ -94,6 +101,9 @@ class Scenario {
     config.realistic_pod_template = false;
     config.node_cpu_milli = 4000;
     config.scheduler.cancel_after_failures = 5;
+    // The per-shard victim needs a sharded plane; every other victim
+    // keeps the single-server plane (and its golden fingerprints).
+    if (victim == Victim::kShardApiserver) config.num_shards = 4;
     cluster_ = std::make_unique<cluster::Cluster>(engine_, std::move(config));
   }
 
@@ -141,6 +151,8 @@ class Scenario {
         return cluster_->replicaset_controller().harness().tombstone_fault();
       case Victim::kSchedulerTombstone:
         return cluster_->scheduler().harness().tombstone_fault();
+      case Victim::kShardApiserver:
+        return cluster_->apiserver().persist_fault(1);
     }
     return cluster_->apiserver().persist_fault();  // unreachable
   }
@@ -156,6 +168,8 @@ class Scenario {
         return cluster_->kubelet(0).harness().crashed();
       case Victim::kReplicaSetTombstone:
         return cluster_->replicaset_controller().harness().crashed();
+      case Victim::kShardApiserver:
+        return !cluster_->apiserver().ShardUp(1);
     }
     return false;
   }
@@ -174,6 +188,9 @@ class Scenario {
         break;
       case Victim::kReplicaSetTombstone:
         cluster_->replicaset_controller().Restart();
+        break;
+      case Victim::kShardApiserver:
+        cluster_->apiserver().RestartShard(1);
         break;
     }
     ++restarts_;
@@ -298,6 +315,20 @@ class Scenario {
         auto it = truth.find(obj->Key());
         ASSERT_NE(it, truth.end()) << obj->Key() << " not on the server";
         EXPECT_EQ(obj->resource_version, it->second) << obj->Key();
+      }
+    }
+    // Shard fault isolation (sharded victim only): a blip on shard 1
+    // may relist shard-1 sources, but no informer source on any other
+    // shard is allowed to — the per-source fault domain is the whole
+    // point of the per-shard reflector split.
+    if (victim_ == Victim::kShardApiserver) {
+      for (const auto& [name, value] : cluster_->metrics().counters()) {
+        if (name.rfind("informer.", 0) != 0) continue;
+        const std::size_t pos = name.find(".shard");
+        if (pos == std::string::npos) continue;
+        if (name.find(".relists_total") == std::string::npos) continue;
+        if (name.compare(pos, 8, ".shard1.") == 0) continue;
+        EXPECT_EQ(value, 0) << name << ": a non-victim shard relisted";
       }
     }
     // EndpointsConvergence: the KubeProxy routing table agrees with

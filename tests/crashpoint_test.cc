@@ -163,7 +163,8 @@ class HarnessSeamTest : public ::testing::Test {
       : network_(engine_),
         cost_(CostModel::Default()),
         apiserver_(engine_, cost_),
-        env_{engine_, network_, apiserver_, cost_, metrics_} {}
+        plane_(apiserver_),
+        env_{engine_, network_, plane_, cost_, metrics_} {}
 
   runtime::ControllerHarness::Options Opts(const std::string& name) {
     runtime::ControllerHarness::Options options;
@@ -193,6 +194,7 @@ class HarnessSeamTest : public ::testing::Test {
   net::Network network_;
   CostModel cost_;
   apiserver::ApiServer apiserver_;
+  apiserver::ControlPlane plane_;  // 1-shard view over apiserver_
   MetricsRecorder metrics_;
   runtime::Env env_;
 };

@@ -34,7 +34,8 @@ class HarnessTest : public ::testing::TestWithParam<Mode> {
       : network_(engine_),
         cost_(CostModel::Default()),
         apiserver_(engine_, cost_),
-        env_{engine_, network_, apiserver_, cost_, metrics_} {}
+        plane_(apiserver_),
+        env_{engine_, network_, plane_, cost_, metrics_} {}
 
   Mode mode() const { return GetParam(); }
 
@@ -71,6 +72,7 @@ class HarnessTest : public ::testing::TestWithParam<Mode> {
   net::Network network_;
   CostModel cost_;
   apiserver::ApiServer apiserver_;
+  apiserver::ControlPlane plane_;  // 1-shard view over apiserver_
   MetricsRecorder metrics_;
   Env env_;
 };

@@ -1,4 +1,4 @@
-// Fixture tests for kdlint (tools/kdlint): every rule R1-R5 must fire
+// Fixture tests for kdlint (tools/kdlint): every rule R1-R6 must fire
 // on its seeded-violation fixture at the exact line, the clean fixture
 // must pass, and suppression comments must demote findings without
 // hiding them. The same assertions run once per available mode: token
@@ -127,6 +127,15 @@ TEST_P(KdlintModeTest, R5FiresOnDirectCacheMutation) {
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_TRUE(HasFinding(r.output, 17, "R5", false)) << r.output;
   EXPECT_TRUE(HasFinding(r.output, 18, "R5", false)) << r.output;
+  EXPECT_EQ(CountFindings(r.output), 2) << r.output;
+}
+
+TEST_P(KdlintModeTest, R6FiresOnHandRolledShardArithmetic) {
+  const RunResult r =
+      RunKdlint(ModeFlag() + " --json " + Fixture("r6_violation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(HasFinding(r.output, 16, "R6", false)) << r.output;
+  EXPECT_TRUE(HasFinding(r.output, 20, "R6", false)) << r.output;
   EXPECT_EQ(CountFindings(r.output), 2) << r.output;
 }
 

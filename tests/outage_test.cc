@@ -166,8 +166,9 @@ TEST(OutageRelistTest, RawFilteredWatchSynthesizesScopedEvents) {
   net::Network network(engine);
   CostModel cost = CostModel::Default();
   ApiServer server(engine, cost);
+  apiserver::ControlPlane plane(server);  // 1-shard view
   MetricsRecorder metrics;
-  runtime::Env env{engine, network, server, cost, metrics};
+  runtime::Env env{engine, network, plane, cost, metrics};
 
   runtime::ControllerHarness::Options options;
   options.name = "raw-watcher";

@@ -4,7 +4,8 @@
 // Each walk drives the full Kd cluster through a random interleaving
 // of the spec's actions (scaling commands, controller crashes +
 // restarts, link disconnections via partition/heal, pod evictions,
-// arbitrary time advancement), then closes with the Liveness
+// API-server and per-shard blips, arbitrary time advancement), then
+// closes with the Liveness
 // Assumption (§4.4): the narrow waist becomes totally connected long
 // enough for end-to-end message passing. The checker then asserts:
 //
@@ -68,7 +69,7 @@ class ModelWalk {
 
  private:
   void Step() {
-    switch (rng_.UniformInt(12)) {
+    switch (rng_.UniformInt(13)) {
       case 0:
       case 1:
       case 2: {  // scaling command (weighted: the common action)
@@ -187,6 +188,16 @@ class ModelWalk {
               candidates[rng_.UniformInt(candidates.size())];
           cluster_->kubelet(k).Evict(key);
         }
+        break;
+      }
+      case 11: {  // shard blip: crash + restart one control-plane shard
+        // Only that shard's keyspace slice breaks its watches; sources
+        // on the other shards must ride through untouched. With one
+        // shard (the default matrix leg) this degenerates to case 7.
+        const int s = static_cast<int>(
+            rng_.UniformInt(cluster_->apiserver().num_shards()));
+        cluster_->apiserver().CrashShard(s);
+        cluster_->apiserver().RestartShard(s);
         break;
       }
       default: {  // advance time

@@ -350,6 +350,22 @@ bool RunClangMode(const std::vector<std::string>& files,
     clang_visitChildren(clang_getTranslationUnitCursor(tu), Visit, &ctx);
     clang_disposeTranslationUnit(tu);
 
+    // R6 is purely lexical (a `%` near a shard-named identifier), so
+    // clang mode reuses the token rule rather than duplicating an AST
+    // walk; AnalyzeSource applies suppressions itself, and re-applying
+    // them below is idempotent.
+    if ((opts.rules.empty() || opts.rules.count("R6") > 0) &&
+        RuleAppliesTo(opts, "R6", file)) {
+      std::string r6_source;
+      if (ReadAll(file, r6_source)) {
+        Options r6_only = opts;
+        r6_only.rules = {"R6"};
+        std::vector<Finding> r6 =
+            AnalyzeSource(file, r6_source, "", r6_only);
+        per_file.insert(per_file.end(), r6.begin(), r6.end());
+      }
+    }
+
     std::string source;
     if (ReadAll(file, source)) {
       const Suppressions sup = ParseSuppressions(source);

@@ -1,0 +1,29 @@
+// kdlint fixture: R6 must fire on hand-rolled shard arithmetic (a `%`
+// with a shard-named identifier nearby) and stay quiet on modulo that
+// has nothing to do with sharding. Lines asserted by
+// tests/kdlint_test.cc.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+std::uint64_t Fnv(const std::string& key);
+
+struct Client {
+  int num_shards;
+
+  int Route(const std::string& key) const {
+    return Fnv(key) % num_shards;                 // line 16: R6
+  }
+
+  int Pick(std::uint64_t hash, int shard_count) const {
+    int shard_id = hash % shard_count;            // line 20: R6
+    return shard_id;
+  }
+
+  int Bucket(std::uint64_t hash, int buckets) const {
+    return static_cast<int>(hash % buckets);      // plain modulo is fine
+  }
+};
+
+}  // namespace fixture

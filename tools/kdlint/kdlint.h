@@ -10,6 +10,7 @@
 //   R3  no pointer values as container keys / ordering criteria
 //   R4  closures passed to sim::Engine::Schedule* must not capture [&]
 //   R5  controller policy classes never mutate ObjectCache directly
+//   R6  shard routing goes through ShardRouter (no hand-rolled modulo)
 //
 // Suppressions: `// kdlint: allow(R2) reason` on the offending line or
 // the line directly above; `// kdlint: allow-file(R1) reason` anywhere
@@ -26,7 +27,7 @@ namespace kdlint {
 struct Finding {
   std::string file;
   int line = 0;
-  std::string rule;     // "R1".."R5"
+  std::string rule;     // "R1".."R6"
   std::string message;
   bool suppressed = false;
   std::string suppress_reason;  // inline reason text or "baseline"

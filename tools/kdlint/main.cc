@@ -180,7 +180,7 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, cli)) return Usage(argv[0]);
   if (cli.capabilities) {
     std::cout << "modes: token" << (ClangModeAvailable() ? " clang" : "")
-              << "\nrules: R1 R2 R3 R4 R5\n";
+              << "\nrules: R1 R2 R3 R4 R5 R6\n";
     return 0;
   }
   if (cli.paths.empty()) return Usage(argv[0]);

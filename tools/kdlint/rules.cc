@@ -337,6 +337,38 @@ void RunR5(const std::string& path, const Tokens& t, const Decls& decls,
   }
 }
 
+// R6 over one token stream: shard routing must go through ShardRouter.
+// A `%` with a shard-named identifier in arm's reach is hand-rolled
+// keyspace partitioning (`hash % num_shards`, `shard = h % S`); such
+// arithmetic outside src/apiserver silently diverges from the router's
+// mapping the moment its hash or clamping changes, so every other
+// layer must ask the router instead. Purely lexical on purpose: the
+// rule needs no types, only the operator and a nearby name.
+void RunR6(const std::string& path, const Tokens& t,
+           std::vector<Finding>& out) {
+  constexpr std::size_t kWindow = 4;  // tokens on either side of `%`
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct || t[i].text != "%") continue;
+    const std::size_t lo = i > kWindow ? i - kWindow : 0;
+    const std::size_t hi = std::min(t.size(), i + kWindow + 1);
+    std::string culprit;
+    for (std::size_t j = lo; j < hi && culprit.empty(); ++j) {
+      if (t[j].kind == TokKind::kIdent &&
+          ContainsNoCase(t[j].text, "shard")) {
+        culprit = t[j].text;
+      }
+    }
+    if (culprit.empty()) continue;
+    out.push_back({path, t[i].line, "R6",
+                   "shard arithmetic on '" + culprit +
+                       "' - the key->shard mapping must go through "
+                       "apiserver::ShardRouter so every layer agrees on "
+                       "the partitioning (and S=1 stays hash-free)",
+                   false,
+                   ""});
+  }
+}
+
 }  // namespace
 
 void Suppressions::Apply(Finding& f) const {
@@ -419,6 +451,8 @@ bool RuleAppliesTo(const Options& opts, const std::string& rule,
   if (!under("src/")) return false;       // tests/bench own their idioms
   if (rule == "R1") return !under("src/sim/");  // the engine owns time
   if (rule == "R5") return under("src/controllers/") || under("src/faas/");
+  // The router itself is the one place allowed to do shard arithmetic.
+  if (rule == "R6") return !under("src/apiserver/");
   return true;
 }
 
@@ -448,6 +482,7 @@ std::vector<Finding> AnalyzeSource(const std::string& path,
   if (want("R2")) RunR2(path, toks, decls, out);
   if (want("R4")) RunR4(path, toks, out);
   if (want("R5")) RunR5(path, toks, decls, out);
+  if (want("R6")) RunR6(path, toks, out);
 
   const Suppressions sup = ParseSuppressions(source);
   for (Finding& f : out) {
