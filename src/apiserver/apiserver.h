@@ -28,6 +28,7 @@
 #include "apiserver/apf.h"
 #include "common/cost_model.h"
 #include "common/fault_point.h"
+#include "common/lane.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "model/objects.h"
@@ -57,7 +58,7 @@ using AdmissionHook = std::function<Status(
     AdmissionOp op, const model::ApiObject* existing,
     const model::ApiObject* incoming)>;
 
-class ApiServer {
+class KD_LANE_OWNED(apiserver) ApiServer {
  public:
   ApiServer(sim::Engine& engine, CostModel cost);
 

@@ -25,6 +25,8 @@
 #include "apiserver/shard.h"
 #include "common/active_tracker.h"
 #include "common/cost_model.h"
+#include "common/lane.h"
+#include "sim/lane_checker.h"
 
 namespace kd::apiserver {
 
@@ -47,7 +49,7 @@ struct RetryPolicy {
   }
 };
 
-class ApiClient {
+class KD_LANE_SEAM ApiClient {
  public:
   // qps/burst: this client's flowcontrol settings (controllers and
   // kubelets differ; see CostModel).
@@ -109,6 +111,13 @@ class ApiClient {
 
   const std::string& name() const { return name_; }
   TokenBucket& limiter() { return limiter_; }
+
+  // Lane-checker seam: completion callbacks run re-scoped to the
+  // owning component's lane. Without this, APF seat coupling leaks
+  // lanes — the event that frees a server seat dispatches the next
+  // queued request, so component A's response can fire inside an
+  // event chain that started in component B's lane.
+  void SetLane(LaneId lane) { lane_ = lane; }
   const RetryPolicy& retry_policy() const { return retry_; }
   // API calls issued (post rate limiting), including retries.
   std::uint64_t calls_issued() const { return calls_issued_; }
@@ -149,6 +158,12 @@ class ApiClient {
   template <typename Result>
   void RetryCall(std::function<void(std::function<void(Result)>)> issue,
                  std::function<void(Result)> done, int attempt) {
+    if (attempt == 1) {  // wrap once, at the chain's head
+      done = [this, inner = std::move(done)](Result result) {
+        sim::LaneScope lane_scope(engine_.lane_checker(), lane_);
+        inner(std::move(result));
+      };
+    }
     const std::uint64_t generation = generation_;
     issue([this, generation, issue, done = std::move(done), attempt](
               Result result) mutable {
@@ -200,6 +215,7 @@ class ApiClient {
   RetryPolicy retry_;
   std::uint64_t calls_issued_ = 0;
   std::uint64_t generation_ = 0;  // bumped by AbandonPending()
+  LaneId lane_ = kNoLane;         // completion-callback lane (SetLane)
 };
 
 }  // namespace kd::apiserver

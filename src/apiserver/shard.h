@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "apiserver/apiserver.h"
+#include "common/lane.h"
 
 namespace kd::apiserver {
 
@@ -72,7 +73,7 @@ class ShardRouter {
 // peeks, routed seeding). Per-shard faults go through shard(i) /
 // CrashShard(i); key-routed traffic goes through ApiClient, which
 // holds the same router.
-class ControlPlane {
+class KD_LANE_OWNED(apiserver) ControlPlane {
  public:
   // Owning: constructs `num_shards` API servers over one engine/cost.
   ControlPlane(sim::Engine& engine, const CostModel& cost, int num_shards = 1)

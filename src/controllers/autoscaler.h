@@ -19,12 +19,13 @@
 #include <map>
 #include <string>
 
+#include "common/lane.h"
 #include "controllers/types.h"
 #include "runtime/harness.h"
 
 namespace kd::controllers {
 
-class Autoscaler {
+class KD_LANE_OWNED(autoscaler) Autoscaler {
  public:
   Autoscaler(runtime::Env& env, Mode mode);
 

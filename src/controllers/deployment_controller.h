@@ -14,12 +14,13 @@
 #include <map>
 #include <string>
 
+#include "common/lane.h"
 #include "controllers/types.h"
 #include "runtime/harness.h"
 
 namespace kd::controllers {
 
-class DeploymentController {
+class KD_LANE_OWNED(deployment) DeploymentController {
  public:
   DeploymentController(runtime::Env& env, Mode mode);
 

@@ -22,12 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "common/lane.h"
 #include "controllers/types.h"
 #include "runtime/harness.h"
 
 namespace kd::controllers {
 
-class EndpointsController {
+class KD_LANE_OWNED(endpoints) EndpointsController {
  public:
   EndpointsController(runtime::Env& env, Mode mode);
 

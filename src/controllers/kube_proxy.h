@@ -18,12 +18,13 @@
 #include <string>
 #include <vector>
 
+#include "common/lane.h"
 #include "controllers/types.h"
 #include "runtime/harness.h"
 
 namespace kd::controllers {
 
-class KubeProxy {
+class KD_LANE_OWNED(kubeproxy) KubeProxy {
  public:
   using Sink = std::function<void(const std::string& service,
                                   const std::vector<std::string>& addresses)>;

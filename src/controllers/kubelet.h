@@ -20,6 +20,7 @@
 #include <set>
 #include <string>
 
+#include "common/lane.h"
 #include "controllers/types.h"
 #include "runtime/harness.h"
 
@@ -39,7 +40,7 @@ struct SandboxParams {
   }
 };
 
-class Kubelet {
+class KD_LANE_OWNED(kubelet) Kubelet {
  public:
   Kubelet(runtime::Env& env, Mode mode, std::string node_name,
           SandboxParams sandbox);

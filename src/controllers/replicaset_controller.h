@@ -26,12 +26,13 @@
 #include <string>
 #include <vector>
 
+#include "common/lane.h"
 #include "controllers/types.h"
 #include "runtime/harness.h"
 
 namespace kd::controllers {
 
-class ReplicaSetController {
+class KD_LANE_OWNED(replicaset) ReplicaSetController {
  public:
   ReplicaSetController(runtime::Env& env, Mode mode);
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lane.h"
 #include "controllers/types.h"
 #include "runtime/harness.h"
 
@@ -34,7 +35,7 @@ struct SchedulerOptions {
   int cancel_after_failures = 10;
 };
 
-class Scheduler {
+class KD_LANE_OWNED(scheduler) Scheduler {
  public:
   Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options = {});
 

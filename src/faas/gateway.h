@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lane.h"
 #include "common/metrics.h"
 #include "common/time.h"
 #include "faas/types.h"
@@ -22,7 +23,7 @@
 
 namespace kd::faas {
 
-class Gateway {
+class KD_LANE_OWNED(faas) Gateway {
  public:
   Gateway(sim::Engine& engine, Duration route_latency = MicrosecondsF(200));
 

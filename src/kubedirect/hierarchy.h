@@ -35,6 +35,7 @@
 
 #include "common/cost_model.h"
 #include "common/fault_point.h"
+#include "common/lane.h"
 #include "common/metrics.h"
 #include "kubedirect/link.h"
 #include "kubedirect/message.h"
@@ -51,7 +52,7 @@ struct ChangeSet {
   bool empty() const { return updated.empty() && invalidated.empty(); }
 };
 
-class HierarchyClient {
+class KD_LANE_SEAM HierarchyClient {
  public:
   struct Callbacks {
     // Handshake complete; the change set must be propagated upstream.
@@ -154,7 +155,7 @@ class HierarchyClient {
   Duration last_handshake_duration_ = 0;
 };
 
-class HierarchyServer {
+class KD_LANE_SEAM HierarchyServer {
  public:
   struct Callbacks {
     // Upstream forwarded an object (not yet materialized).

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cost_model.h"
+#include "common/lane.h"
 #include "common/metrics.h"
 #include "kubedirect/message.h"
 #include "net/network.h"
@@ -23,7 +24,7 @@
 
 namespace kd::kubedirect {
 
-class KdLink : public std::enable_shared_from_this<KdLink> {
+class KD_LANE_SEAM KdLink : public std::enable_shared_from_this<KdLink> {
  public:
   KdLink(sim::Engine& engine, const CostModel& cost,
          net::ConnHandlePtr conn, MetricsRecorder* metrics = nullptr);

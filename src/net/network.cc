@@ -53,6 +53,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
                         if (!conn || !conn->open_) return;  // dropped in flight
                         Side& side = conn->sides_[to_side];
                         if (side.closed_seen) return;
+                        // Sanctioned seam: the receiver's handler runs
+                        // in the receiving endpoint's lane.
+                        Network& net = conn->network_;
+                        Endpoint* ep = net.Find(side.address);
+                        sim::LaneScope lane_scope(
+                            net.engine().lane_checker(),
+                            ep != nullptr ? ep->lane() : kNoLane);
                         if (side.on_message) side.on_message(std::move(payload));
                       });
     return OkStatus();
@@ -101,6 +108,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
       Side& s = conn->sides_[side];
       if (s.closed_seen) return;
       s.closed_seen = true;
+      Network& net = conn->network_;
+      Endpoint* ep = net.Find(s.address);
+      sim::LaneScope lane_scope(net.engine().lane_checker(),
+                                ep != nullptr ? ep->lane() : kNoLane);
       if (s.on_disconnect) s.on_disconnect();
     });
   }
@@ -260,6 +271,10 @@ void Endpoint::Connect(const std::string& to,
           net.config_.disconnect_detect_delay,
           [&net, done = std::move(done), from, from_epoch, to] {
             if (net.crash_epoch(from) != from_epoch) return;
+            Endpoint* self = net.Find(from);
+            sim::LaneScope lane_scope(
+                net.engine_.lane_checker(),
+                self != nullptr ? self->lane() : kNoLane);
             done(UnavailableError("connect to " + to + " failed"));
           });
       return;
@@ -267,11 +282,17 @@ void Endpoint::Connect(const std::string& to,
     auto conn = std::make_shared<Connection>(net, from, to);
     net.connections_.insert(conn);
     auto server_handle = std::make_shared<ConnHandle>(conn, 1);
-    target->on_accept_(server_handle);
+    {
+      sim::LaneScope lane_scope(net.engine_.lane_checker(), target->lane());
+      target->on_accept_(server_handle);
+    }
     net.engine_.ScheduleAfter(net.config_.latency, [&net, conn, from,
                                                     from_epoch, to,
                                                     done = std::move(done)]() {
       if (net.crash_epoch(from) != from_epoch) return;  // connector died
+      Endpoint* self = net.Find(from);
+      sim::LaneScope lane_scope(net.engine_.lane_checker(),
+                                self != nullptr ? self->lane() : kNoLane);
       if (!conn->open() || !net.Reachable(from, to)) {
         done(UnavailableError("connection lost during setup"));
         return;

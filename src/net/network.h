@@ -23,6 +23,7 @@
 #include <string>
 #include <utility>
 
+#include "common/lane.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/time.h"
@@ -34,7 +35,7 @@ class Endpoint;
 class Connection;
 
 // One side's view of an established bidirectional connection.
-class ConnHandle {
+class KD_LANE_SEAM ConnHandle {
  public:
   ConnHandle(std::shared_ptr<Connection> conn, int side);
 
@@ -77,7 +78,7 @@ struct NetworkConfig {
   Duration disconnect_detect_delay = Milliseconds(5);
 };
 
-class Network {
+class KD_LANE_SEAM Network {
  public:
   Network(sim::Engine& engine, NetworkConfig config = {});
 
@@ -135,7 +136,7 @@ class Network {
 };
 
 // A named attachment point: listens for connections and initiates them.
-class Endpoint {
+class KD_LANE_SEAM Endpoint {
  public:
   Endpoint(Network& network, std::string address);
   ~Endpoint();
@@ -145,6 +146,12 @@ class Endpoint {
 
   const std::string& address() const { return address_; }
   Network& network() { return network_; }
+
+  // Lane-checker seam: message/disconnect/accept callbacks delivered
+  // to this endpoint run re-scoped to its owning component's lane
+  // (kNoLane for unwired endpoints — their callbacks stay unchecked).
+  void SetLane(LaneId lane) { lane_ = lane; }
+  LaneId lane() const { return lane_; }
 
   // Accept handler for inbound connections; replaces any previous one.
   void Listen(std::function<void(ConnHandlePtr)> on_accept);
@@ -167,6 +174,7 @@ class Endpoint {
   Network& network_;
   std::string address_;
   std::function<void(ConnHandlePtr)> on_accept_;
+  LaneId lane_ = kNoLane;
 };
 
 }  // namespace kd::net

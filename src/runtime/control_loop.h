@@ -16,12 +16,13 @@
 
 #include "common/active_tracker.h"
 #include "common/cost_model.h"
+#include "common/lane.h"
 #include "common/metrics.h"
 #include "sim/engine.h"
 
 namespace kd::runtime {
 
-class ControlLoop {
+class KD_LANE_SEAM ControlLoop {
  public:
   // `reconcile` returns the extra busy time its logic consumed beyond
   // the base reconcile cost (e.g. the Scheduler's node scan).
@@ -57,6 +58,11 @@ class ControlLoop {
   std::uint64_t processed() const { return processed_; }
   const std::string& name() const { return name_; }
 
+  // Lane-checker seam: Dispatch re-scopes to this lane before running
+  // the reconciler, so reconcile code always executes in its
+  // component's lane regardless of which event enqueued the key.
+  void SetLane(LaneId lane) { lane_ = lane; }
+
  private:
   void ScheduleDispatch(Time at);
   void Dispatch(std::uint64_t generation);
@@ -76,6 +82,7 @@ class ControlLoop {
   // Bumped by Clear(); stale dispatch events check it and abort.
   std::uint64_t generation_ = 0;
   std::uint64_t processed_ = 0;
+  LaneId lane_ = kNoLane;
   Time busy_until_ = 0;
   // "<name>.active" busy time: union of intervals with queued or
   // executing work (the isolated stage time of the breakdown figures).

@@ -43,6 +43,7 @@
 
 #include "apiserver/client.h"
 #include "common/fault_point.h"
+#include "common/lane.h"
 #include "kubedirect/hierarchy.h"
 #include "kubedirect/tombstone.h"
 #include "net/network.h"
@@ -54,7 +55,7 @@
 
 namespace kd::runtime {
 
-class ControllerHarness {
+class KD_LANE_SEAM ControllerHarness {
  public:
   // Which mode(s) a wiring declaration applies to.
   enum class When { kBoth, kK8sOnly, kKdOnly };
@@ -151,6 +152,8 @@ class ControllerHarness {
   // --- accessors ------------------------------------------------------
   Env& env() { return env_; }
   Mode mode() const { return mode_; }
+  // This controller's runtime lane (registered under options.name).
+  LaneId lane() const { return lane_; }
   bool crashed() const { return crashed_; }
   // Crash-restart epoch: bumped on every Start (1 after the first).
   std::uint64_t session() const { return session_; }
@@ -227,6 +230,7 @@ class ControllerHarness {
   Env& env_;
   Mode mode_;
   Options options_;
+  LaneId lane_ = kNoLane;
   apiserver::ApiClient api_;
   ControlLoop loop_;
   net::Endpoint endpoint_;

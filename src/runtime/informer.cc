@@ -48,6 +48,9 @@ void Informer::RunInitialList(int s) {
       s, kind_,
       [this, session, s](StatusOr<std::vector<model::ApiObject>> result) {
         if (session != session_ || !running_) return;
+        // Sanctioned seam: the initial-list merge writes the owner's
+        // cache from an API-server response event.
+        sim::LaneScope lane_scope(cache_.lane_checker(), cache_.bound_lane());
         if (!result.ok()) {
           // Shard died mid-sync (transport failure after retries). The
           // broken-watch path re-arms the stream; the initial list
@@ -100,6 +103,9 @@ void Informer::Stop() {
 }
 
 void Informer::HandleEvent(int s, const apiserver::WatchEvent& event) {
+  // Sanctioned seam: the watch hub delivers events from whatever lane
+  // committed the write; the merge runs in the cache owner's lane.
+  sim::LaneScope lane_scope(cache_.lane_checker(), cache_.bound_lane());
   switch (event.type) {
     case apiserver::WatchEventType::kAdded:
     case apiserver::WatchEventType::kModified:
@@ -185,6 +191,7 @@ void Informer::Rearm(int s) {
 
 void Informer::ApplySnapshot(int s, std::vector<model::ApiObject> objects,
                              std::uint64_t revision) {
+  sim::LaneScope lane_scope(cache_.lane_checker(), cache_.bound_lane());
   std::set<std::string> snapshot_keys;
   for (auto& obj : objects) {
     snapshot_keys.insert(obj.Key());

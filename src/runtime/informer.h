@@ -37,12 +37,13 @@
 #include "apiserver/apiserver.h"
 #include "apiserver/client.h"
 #include "apiserver/shard.h"
+#include "common/lane.h"
 #include "common/metrics.h"
 #include "runtime/cache.h"
 
 namespace kd::runtime {
 
-class Informer {
+class KD_LANE_SEAM Informer {
  public:
   // Single-server informer (one source).
   Informer(apiserver::ApiClient& client, apiserver::ApiServer& server,

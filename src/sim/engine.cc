@@ -214,10 +214,17 @@ bool Engine::PopAndFire(Time limit) {
       assert(live_events_ > 0);
       --live_events_;
       if (trace_hook_) trace_hook_(now_, e.seq, id);
+      // Restore the event's lane for the lane checker; the guard
+      // resets it when the closure unwinds (normally or by throw) so
+      // no lane leaks into engine-internal code between events.
+      if (lane_checker_.enabled()) {
+        lane_checker_.BeginEvent(now_, e.seq, slot.lane);
+      }
       struct FireGuard {
         Engine* engine;
         std::uint32_t index;
         ~FireGuard() {
+          engine->lane_checker_.SetCurrentLane(kNoLane);
           DestroyClosure(engine->SlotAt(index));
           engine->free_slots_.push_back(index);
         }

@@ -51,8 +51,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/lane.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "sim/lane_checker.h"
 
 namespace kd::sim {
 
@@ -75,6 +77,10 @@ class Engine {
   EventId ScheduleAt(Time t, F&& fn) {
     const std::uint32_t index = AcquireSlot();
     Slot& slot = SlotAt(index);
+    // The event inherits the lane of the context scheduling it, so
+    // lane membership flows through closure chains (see
+    // sim/lane_checker.h).
+    slot.lane = lane_checker_.current_lane();
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineClosureBytes &&
                   alignof(Fn) <= alignof(std::max_align_t)) {
@@ -143,6 +149,10 @@ class Engine {
   using TraceHook = std::function<void(Time, std::uint64_t, EventId)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+  // Debug-only lane-access checker (disabled by default; enabling it
+  // never changes the event trace). See sim/lane_checker.h.
+  LaneChecker& lane_checker() { return lane_checker_; }
+
  private:
   static constexpr std::size_t kInlineClosureBytes = 64;
   // Chunked arena: slot addresses must stay stable while a closure is
@@ -164,6 +174,7 @@ class Engine {
     // common case pays no indirect call to drop them.
     void (*destroy)(void*) = nullptr;
     std::uint32_t generation = 1;
+    LaneId lane = kNoLane;  // lane of the scheduling context
     bool armed = false;
   };
   struct BucketEntry {
@@ -260,6 +271,7 @@ class Engine {
   std::vector<std::uint64_t> occupied_;
   std::vector<HeapEntry> heap_;  // overflow: time >= now_ + kWheelSize
   TraceHook trace_hook_;
+  LaneChecker lane_checker_;
   Rng rng_;
 };
 

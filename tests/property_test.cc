@@ -50,6 +50,10 @@ constexpr int kNodes = 3;
 class ModelWalk {
  public:
   explicit ModelWalk(std::uint64_t seed) : rng_(seed) {
+    // LaneSilence: the runtime lane checker rides every walk — no
+    // event may touch state owned by another component instance's
+    // lane across the whole crash/blip/partition/shard action mix.
+    engine_.lane_checker().Enable();
     ClusterConfig config = ClusterConfig::Kd(kNodes);
     config.realistic_pod_template = false;
     config.node_cpu_milli = 4000;  // 16 pods per node, 48 total
@@ -385,6 +389,9 @@ class ModelWalk {
     EXPECT_EQ(std::set<std::string>(got.begin(), got.end()),
               std::set<std::string>(want.begin(), want.end()))
         << "KubeProxy routing table diverged from ready pods";
+    // LaneSilence: zero cross-lane conflicts recorded over the walk.
+    EXPECT_EQ(engine_.lane_checker().total_conflicts(), 0u)
+        << engine_.lane_checker().FormatReport();
   }
 
   sim::Engine engine_;

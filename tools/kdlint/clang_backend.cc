@@ -12,6 +12,7 @@
 #include <clang-c/Index.h>
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -124,6 +125,62 @@ struct Ctx {
   }
 };
 
+// --- lane-ownership helpers (R7/R8) --------------------------------
+//
+// The ownership model comes from the driver's cross-TU harvest
+// (Options::lane_of / seam_types), shared with the token analyzer so
+// both backends judge against the same declared map; the AST side
+// resolves receivers by canonical *type* rather than by name, which
+// also catches accessor chains (`cluster_.autoscaler().ScaleTo()`).
+
+// Lane of the first lane-owned class named (with identifier
+// boundaries) in a canonical type spelling; "" if none.
+std::string LaneInTypeSpelling(const std::string& type,
+                               const Options& opts) {
+  auto ident_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  for (const auto& [cls, lane] : opts.lane_of) {
+    for (std::size_t pos = type.find(cls); pos != std::string::npos;
+         pos = type.find(cls, pos + 1)) {
+      const bool left_ok = pos == 0 || !ident_char(type[pos - 1]);
+      const std::size_t end = pos + cls.size();
+      const bool right_ok = end >= type.size() || !ident_char(type[end]);
+      if (left_ok && right_ok) return lane;
+    }
+  }
+  return "";
+}
+
+bool IsHandleSpelling(const std::string& type) {
+  return type.find('*') != std::string::npos ||
+         type.find('&') != std::string::npos;
+}
+
+// Lane owning a declaration, found by walking semantic parents until a
+// KD_LANE_OWNED class; "" when the decl belongs to no lane. Works for
+// out-of-line member definitions too (semantic, not lexical, parent).
+std::string LaneOfDecl(CXCursor decl, const Options& opts,
+                       std::string* cls_out) {
+  CXCursor p = clang_getCursorSemanticParent(decl);
+  for (int depth = 0; depth < 64 && !clang_Cursor_isNull(p); ++depth) {
+    const CXCursorKind k = clang_getCursorKind(p);
+    if (k == CXCursor_TranslationUnit) break;
+    if (k == CXCursor_ClassDecl || k == CXCursor_StructDecl) {
+      const std::string name = ToStd(clang_getCursorSpelling(p));
+      const auto it = opts.lane_of.find(name);
+      if (it != opts.lane_of.end()) {
+        if (cls_out != nullptr) *cls_out = name;
+        return it->second;
+      }
+    }
+    const CXCursor next = clang_getCursorSemanticParent(p);
+    if (clang_equalCursors(next, p) != 0) break;
+    p = next;
+  }
+  return "";
+}
+
 // --- subtree scans used by R2/R4 -----------------------------------
 
 struct SubtreeScan {
@@ -132,24 +189,47 @@ struct SubtreeScan {
   int escape_line = 0;
   bool blanket_ref_lambda = false;
   int lambda_line = 0;
+  bool copy_this_lambda = false;  // [=] lambda whose body uses `this`
+  int copy_lambda_line = 0;
   CXTranslationUnit tu;
 };
 
-// First tokens of a lambda: `[ & ]` or `[ & ,` is a blanket by-ref
-// capture default (libclang does not expose capture defaults in the C
-// API, so we look at the spelling).
-bool LambdaHasBlanketRef(CXTranslationUnit tu, CXCursor lambda) {
+// First tokens of a lambda: `[ & ]` / `[ & ,` is a blanket by-ref
+// capture default, `[ = ]` / `[ = ,` a blanket copy default (libclang
+// does not expose capture defaults in the C API, so we look at the
+// spelling). Returns '&', '=', or 0.
+char LambdaCaptureDefault(CXTranslationUnit tu, CXCursor lambda) {
   CXToken* toks = nullptr;
   unsigned n = 0;
   clang_tokenize(tu, clang_getCursorExtent(lambda), &toks, &n);
-  bool blanket = false;
-  if (n >= 3 && ToStd(clang_getTokenSpelling(tu, toks[0])) == "[" &&
-      ToStd(clang_getTokenSpelling(tu, toks[1])) == "&") {
+  char result = 0;
+  if (n >= 3 && ToStd(clang_getTokenSpelling(tu, toks[0])) == "[") {
+    const std::string second = ToStd(clang_getTokenSpelling(tu, toks[1]));
     const std::string third = ToStd(clang_getTokenSpelling(tu, toks[2]));
-    blanket = third == "]" || third == ",";
+    if ((second == "&" || second == "=") &&
+        (third == "]" || third == ",")) {
+      result = second[0];
+    }
   }
   clang_disposeTokens(tu, toks, n);
-  return blanket;
+  return result;
+}
+
+CXChildVisitResult FindThisExpr(CXCursor cursor, CXCursor,
+                                CXClientData data) {
+  if (clang_getCursorKind(cursor) == CXCursor_CXXThisExpr) {
+    *static_cast<bool*>(data) = true;
+    return CXChildVisit_Break;
+  }
+  return CXChildVisit_Recurse;
+}
+
+// True if the lambda body reaches `this` (explicitly or through an
+// implicit member access, which the AST still models as CXXThisExpr).
+bool LambdaTouchesThis(CXCursor lambda) {
+  bool found = false;
+  clang_visitChildren(lambda, FindThisExpr, &found);
+  return found;
 }
 
 CXChildVisitResult ScanSubtree(CXCursor cursor, CXCursor, CXClientData data) {
@@ -162,10 +242,17 @@ CXChildVisitResult ScanSubtree(CXCursor cursor, CXCursor, CXClientData data) {
       scan->escape_line = LineOf(cursor);
     }
   }
-  if (kind == CXCursor_LambdaExpr && !scan->blanket_ref_lambda &&
-      LambdaHasBlanketRef(scan->tu, cursor)) {
-    scan->blanket_ref_lambda = true;
-    scan->lambda_line = LineOf(cursor);
+  if (kind == CXCursor_LambdaExpr) {
+    const char dflt = LambdaCaptureDefault(scan->tu, cursor);
+    if (dflt == '&' && !scan->blanket_ref_lambda) {
+      scan->blanket_ref_lambda = true;
+      scan->lambda_line = LineOf(cursor);
+    }
+    if (dflt == '=' && !scan->copy_this_lambda &&
+        LambdaTouchesThis(cursor)) {
+      scan->copy_this_lambda = true;
+      scan->copy_lambda_line = LineOf(cursor);
+    }
   }
   if (clang_getCursorKind(cursor) != CXCursor_LambdaExpr) {
     const std::string type = CanonicalTypeSpelling(cursor);
@@ -184,6 +271,111 @@ CXChildVisitResult TakeFirstChild(CXCursor cursor, CXCursor,
                                   CXClientData data) {
   static_cast<FirstChild*>(data)->cursor = cursor;
   return CXChildVisit_Break;
+}
+
+// Canonical type of the receiver of a member call ("" when the call
+// has no member-ref callee). Shared by R5 and R7.
+std::string MemberCallReceiverType(CXCursor call) {
+  FirstChild callee;
+  clang_visitChildren(call, TakeFirstChild, &callee);
+  if (clang_getCursorKind(callee.cursor) != CXCursor_MemberRefExpr) {
+    return "";
+  }
+  FirstChild base;
+  clang_visitChildren(callee.cursor, TakeFirstChild, &base);
+  if (clang_Cursor_isNull(base.cursor)) return "";
+  return CanonicalTypeSpelling(base.cursor);
+}
+
+// --- R7/R8 subtree visitors ----------------------------------------
+
+struct LaneScan {
+  Ctx* ctx;
+  std::string lane;  // lane owning the enclosing method
+  std::string cls;
+};
+
+struct LambdaCaptureCheck {
+  Ctx* ctx;
+  std::string lane;
+  bool reported = false;
+};
+
+// Flags references, inside a scheduled lambda, to declarations whose
+// type is a raw handle to another lane's state (R8: the handle would
+// cross the lane barrier when the event later fires).
+CXChildVisitResult CheckCaptureRefs(CXCursor cursor, CXCursor,
+                                    CXClientData data) {
+  auto* chk = static_cast<LambdaCaptureCheck*>(data);
+  if (chk->reported) return CXChildVisit_Break;
+  if (clang_getCursorKind(cursor) == CXCursor_DeclRefExpr) {
+    const CXCursor decl = clang_getCursorReferenced(cursor);
+    if (!clang_Cursor_isNull(decl)) {
+      const CXCursorKind dk = clang_getCursorKind(decl);
+      if (dk == CXCursor_VarDecl || dk == CXCursor_ParmDecl ||
+          dk == CXCursor_FieldDecl) {
+        const std::string type = ToStd(clang_getTypeSpelling(
+            clang_getCanonicalType(clang_getCursorType(decl))));
+        const std::string foreign =
+            LaneInTypeSpelling(type, *chk->ctx->opts);
+        if (!foreign.empty() && foreign != chk->lane &&
+            IsHandleSpelling(type)) {
+          chk->ctx->Add(
+              LineOf(cursor), "R8",
+              "closure scheduled from lane '" + chk->lane +
+                  "' captures '" + ToStd(clang_getCursorSpelling(cursor)) +
+                  "', a handle to lane-'" + foreign +
+                  "' state - the event would touch foreign state after "
+                  "the lane barrier; route through a KD_LANE_SEAM");
+          chk->reported = true;
+          return CXChildVisit_Break;
+        }
+      }
+    }
+  }
+  return CXChildVisit_Recurse;
+}
+
+CXChildVisitResult FindLambdasForR8(CXCursor cursor, CXCursor,
+                                    CXClientData data) {
+  if (clang_getCursorKind(cursor) == CXCursor_LambdaExpr) {
+    clang_visitChildren(cursor, CheckCaptureRefs, data);
+    return CXChildVisit_Continue;
+  }
+  return CXChildVisit_Recurse;
+}
+
+// Walks one lane-owned method body: member calls on foreign-lane
+// receivers (R7) and scheduled closures capturing foreign handles
+// (R8). Sanctioned KD_LANE_SEAM types are exempt by construction —
+// they are not in lane_of, so their receivers resolve to no lane.
+CXChildVisitResult VisitLaneSubtree(CXCursor cursor, CXCursor,
+                                    CXClientData data) {
+  auto* scan = static_cast<LaneScan*>(data);
+  Ctx* ctx = scan->ctx;
+  if (clang_getCursorKind(cursor) == CXCursor_CallExpr) {
+    const std::string name = ToStd(clang_getCursorSpelling(cursor));
+    if (ctx->Want("R7")) {
+      const std::string recv = MemberCallReceiverType(cursor);
+      if (!recv.empty()) {
+        const std::string foreign = LaneInTypeSpelling(recv, *ctx->opts);
+        if (!foreign.empty() && foreign != scan->lane) {
+          ctx->Add(LineOf(cursor), "R7",
+                   "'" + scan->cls + "' (lane '" + scan->lane +
+                       "') reaches lane-'" + foreign + "' state through '" +
+                       name +
+                       "' - cross-lane effects must route through a "
+                       "KD_LANE_SEAM conduit (net::, hierarchy, "
+                       "ApiClient, watch hub)");
+        }
+      }
+    }
+    if (ctx->Want("R8") && ScheduleEntryPoints().count(name) > 0) {
+      LambdaCaptureCheck chk{ctx, scan->lane, false};
+      clang_visitChildren(cursor, FindLambdasForR8, &chk);
+    }
+  }
+  return CXChildVisit_Recurse;
 }
 
 CXChildVisitResult Visit(CXCursor cursor, CXCursor, CXClientData data) {
@@ -225,6 +417,34 @@ CXChildVisitResult Visit(CXCursor cursor, CXCursor, CXClientData data) {
     }
   }
 
+  if (kind == CXCursor_FieldDecl && ctx->Want("R8")) {
+    std::string cls;
+    const std::string lane = LaneOfDecl(cursor, *ctx->opts, &cls);
+    if (!lane.empty()) {
+      const std::string type = CanonicalTypeSpelling(cursor);
+      const std::string foreign = LaneInTypeSpelling(type, *ctx->opts);
+      if (!foreign.empty() && foreign != lane && IsHandleSpelling(type)) {
+        ctx->Add(LineOf(cursor), "R8",
+                 "'" + cls + "' (lane '" + lane + "') stores a raw handle '" +
+                     ToStd(clang_getCursorSpelling(cursor)) +
+                     "' to lane-'" + foreign +
+                     "' state across events - cross-lane reach must go "
+                     "through a KD_LANE_SEAM conduit, not a held pointer");
+      }
+    }
+  }
+
+  if ((ctx->Want("R7") || ctx->Want("R8")) &&
+      (kind == CXCursor_CXXMethod || kind == CXCursor_Constructor ||
+       kind == CXCursor_Destructor || kind == CXCursor_FunctionDecl) &&
+      clang_isCursorDefinition(cursor) != 0) {
+    LaneScan scan{ctx, "", ""};
+    scan.lane = LaneOfDecl(cursor, *ctx->opts, &scan.cls);
+    if (!scan.lane.empty()) {
+      clang_visitChildren(cursor, VisitLaneSubtree, &scan);
+    }
+  }
+
   if ((kind == CXCursor_VarDecl || kind == CXCursor_FieldDecl) &&
       ctx->Want("R3")) {
     const std::string type = CanonicalTypeSpelling(cursor);
@@ -254,6 +474,14 @@ CXChildVisitResult Visit(CXCursor cursor, CXCursor, CXClientData data) {
                      "captures are dead by the time the event fires; "
                      "capture explicitly by value (guard re-entrancy "
                      "with an epoch or EventId)");
+      }
+      if (scan.copy_this_lambda) {
+        ctx->Add(scan.copy_lambda_line, "R4",
+                 "closure passed to '" + name +
+                     "' uses a blanket [=] capture that implicitly "
+                     "copies the raw `this` pointer - capture `this` "
+                     "explicitly and guard re-entrancy with an epoch "
+                     "or EventId");
       }
     }
     if (ctx->Want("R5") && CacheMutators().count(name) > 0) {
@@ -350,19 +578,27 @@ bool RunClangMode(const std::vector<std::string>& files,
     clang_visitChildren(clang_getTranslationUnitCursor(tu), Visit, &ctx);
     clang_disposeTranslationUnit(tu);
 
-    // R6 is purely lexical (a `%` near a shard-named identifier), so
-    // clang mode reuses the token rule rather than duplicating an AST
-    // walk; AnalyzeSource applies suppressions itself, and re-applying
-    // them below is idempotent.
-    if ((opts.rules.empty() || opts.rules.count("R6") > 0) &&
-        RuleAppliesTo(opts, "R6", file)) {
-      std::string r6_source;
-      if (ReadAll(file, r6_source)) {
-        Options r6_only = opts;
-        r6_only.rules = {"R6"};
-        std::vector<Finding> r6 =
-            AnalyzeSource(file, r6_source, "", r6_only);
-        per_file.insert(per_file.end(), r6.begin(), r6.end());
+    // R6 and R0 are purely lexical (a `%` near a shard-named
+    // identifier; a suppression comment with no reason), so clang mode
+    // reuses the token rules rather than duplicating an AST walk;
+    // AnalyzeSource applies suppressions itself, and re-applying them
+    // below is idempotent.
+    {
+      std::string lex_source;
+      if (ReadAll(file, lex_source)) {
+        Options lexical = opts;
+        lexical.rules.clear();
+        for (const char* rule : {"R6", "R0"}) {
+          if ((opts.rules.empty() || opts.rules.count(rule) > 0) &&
+              RuleAppliesTo(opts, rule, file)) {
+            lexical.rules.insert(rule);
+          }
+        }
+        if (!lexical.rules.empty()) {
+          std::vector<Finding> lex =
+              AnalyzeSource(file, lex_source, "", lexical);
+          per_file.insert(per_file.end(), lex.begin(), lex.end());
+        }
       }
     }
 

@@ -1,0 +1,27 @@
+// kdlint fixture: the lane model's clean shapes — same-lane state,
+// seam conduits, and seam handles — must produce no R7/R8 findings.
+namespace fixture {
+
+class KD_LANE_SEAM ApiClient {
+ public:
+  void Create(int obj);
+};
+
+struct Engine {
+  template <class F>
+  void ScheduleAt(long at, F&& fn);
+};
+
+class KD_LANE_OWNED(scheduler) Scheduler {
+ public:
+  void Reconcile(Engine& engine, ApiClient& api) {
+    api.Create(1);
+    engine.ScheduleAt(5, [this] { pending_ += 1; });
+  }
+
+ private:
+  ApiClient* api_ = nullptr;  // seams may be held by handle
+  int pending_ = 0;
+};
+
+}  // namespace fixture

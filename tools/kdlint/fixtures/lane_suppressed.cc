@@ -1,0 +1,20 @@
+// kdlint fixture: R7/R8 suppressions with reasons demote findings
+// without hiding them from --show-suppressed.
+namespace fixture {
+
+class KD_LANE_OWNED(kubelet) Kubelet {
+ public:
+  void Evict(int pod);
+};
+
+class KD_LANE_OWNED(scheduler) Scheduler {
+ public:
+  void Drain(Kubelet* node) {
+    node->Evict(1);  // kdlint: allow(R7) fixture: sanctioned seam-to-be
+  }
+
+ private:
+  Kubelet* standby_;  // kdlint: allow(R8) fixture: transitional handle
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// kdlint fixture: R4 must fire when Schedule* is reached through a
+// member or alias, and on blanket [=] defaults that smuggle the raw
+// `this` pointer. Lines asserted by kdlint_test.cc.
+namespace fixture {
+
+struct Engine {
+  template <class F>
+  void ScheduleAt(long at, F&& fn);
+};
+
+class Loop {
+ public:
+  void Arm() {
+    int deadline = 5;
+    engine_->ScheduleAt(1, [&] { count_ += deadline; });  // line 15: R4
+    auto& e = *engine_;
+    e.ScheduleAt(2, [deadline, this] { count_ += deadline; });  // clean
+    e.ScheduleAt(3, [=] { count_ += 1; });  // line 18: R4 [=] this
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  int count_ = 0;
+};
+
+}  // namespace fixture

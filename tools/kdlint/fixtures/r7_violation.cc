@@ -1,0 +1,29 @@
+// kdlint fixture: R7 must fire when a lane-owned class reaches
+// another lane's state directly or through an accessor chain; seam
+// conduits stay clean. Lines asserted by kdlint_test.cc.
+namespace fixture {
+
+class KD_LANE_OWNED(kubelet) Kubelet {
+ public:
+  void Evict(int pod);
+};
+
+class KD_LANE_SEAM ApiClient {
+ public:
+  void Create(int obj);
+};
+
+struct Cluster {
+  Kubelet& kubelet();
+};
+
+class KD_LANE_OWNED(scheduler) Scheduler {
+ public:
+  void Bind(Kubelet* node, ApiClient& api, Cluster& cluster) {
+    node->Evict(1);  // line 23: R7 direct foreign-lane call
+    api.Create(7);   // seam conduit: clean
+    cluster.kubelet().Evict(2);  // line 25: R7 accessor chain
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// kdlint fixture: R8 must fire when a raw cross-lane handle is
+// stored as a member or captured into a scheduled closure. Lines
+// asserted by kdlint_test.cc.
+namespace fixture {
+
+class KD_LANE_OWNED(kubelet) Kubelet {
+ public:
+  int pods = 0;
+};
+
+struct Engine {
+  template <class F>
+  void ScheduleAt(long at, F&& fn);
+};
+
+class KD_LANE_OWNED(scheduler) Scheduler {
+ public:
+  void Rebalance(Engine& engine, Kubelet* victim) {
+    engine.ScheduleAt(10, [victim] { victim->pods -= 1; });  // line 19: R8
+  }
+
+ private:
+  Kubelet& node_;  // line 23: R8 stored cross-lane handle
+};
+
+}  // namespace fixture

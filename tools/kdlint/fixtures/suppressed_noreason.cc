@@ -1,0 +1,12 @@
+// kdlint fixture: a suppression without a reason is rejected — the
+// finding it tried to cover stays live and R0 reports the empty
+// waiver. Lines asserted by kdlint_test.cc.
+#include <cstdlib>
+
+namespace fixture {
+
+int Entropy() {
+  return rand();  // kdlint: allow(R1)
+}
+
+}  // namespace fixture

@@ -2,7 +2,7 @@
 // reporting. See kdlint.h for the rule catalogue and LINT.md for the
 // full manual.
 //
-//   kdlint [--mode=auto|token|clang] [--json] [--rules=R1,R2]
+//   kdlint [--mode=auto|token|clang] [--json] [--sarif] [--rules=R1,R2]
 //          [--repo-scope] [--show-suppressed] [--baseline=FILE]
 //          [--write-baseline=FILE] [--compile-commands=DIR]
 //          [--capabilities] <file-or-dir>...
@@ -28,6 +28,7 @@ struct Cli {
   Options opts;
   std::string mode = "auto";
   bool json = false;
+  bool sarif = false;
   bool capabilities = false;
   std::string baseline_in;
   std::string baseline_out;
@@ -38,7 +39,7 @@ struct Cli {
 int Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [--mode=auto|token|clang] [--json] [--rules=R1,..] "
+      << " [--mode=auto|token|clang] [--json] [--sarif] [--rules=R1,..] "
          "[--repo-scope]\n"
          "       [--show-suppressed] [--baseline=FILE] "
          "[--write-baseline=FILE]\n"
@@ -56,6 +57,8 @@ bool ParseArgs(int argc, char** argv, Cli& cli) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       cli.json = true;
+    } else if (arg == "--sarif") {
+      cli.sarif = true;
     } else if (arg == "--repo-scope") {
       cli.opts.repo_scope = true;
     } else if (arg == "--show-suppressed") {
@@ -180,7 +183,8 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, cli)) return Usage(argv[0]);
   if (cli.capabilities) {
     std::cout << "modes: token" << (ClangModeAvailable() ? " clang" : "")
-              << "\nrules: R1 R2 R3 R4 R5 R6\n";
+              << "\nrules: R0 R1 R2 R3 R4 R5 R6 R7 R8\n"
+              << "outputs: text json sarif\n";
     return 0;
   }
   if (cli.paths.empty()) return Usage(argv[0]);
@@ -200,6 +204,25 @@ int Main(int argc, char** argv) {
   bool ok = true;
   const std::vector<std::string> files = CollectFiles(cli.paths, ok);
   if (!ok) return 2;
+
+  // Cross-TU pre-pass for R7/R8: harvest every KD_LANE_OWNED /
+  // KD_LANE_SEAM annotation (and lane-owned accessor signature) from
+  // all input files plus their sibling headers, so per-file analysis
+  // in either backend sees the whole ownership model even when the
+  // annotation lives in a header the input never includes.
+  for (const std::string& file : files) {
+    std::string source;
+    if (ReadFile(file, source)) HarvestLaneIndex(source, cli.opts);
+    if (fs::path(file).extension() == ".cc") {
+      const fs::path header = fs::path(file).replace_extension(".h");
+      std::error_code ec;
+      std::string sibling;
+      if (fs::is_regular_file(header, ec) &&
+          ReadFile(header.generic_string(), sibling)) {
+        HarvestLaneIndex(sibling, cli.opts);
+      }
+    }
+  }
 
   std::vector<Finding> findings;
   if (mode == "clang") {
@@ -233,7 +256,11 @@ int Main(int argc, char** argv) {
     (f.suppressed ? suppressed : unsuppressed) += 1;
   }
 
-  if (cli.json) {
+  if (cli.sarif) {
+    // SARIF always carries the suppressed findings too (as SARIF
+    // suppressions) so code scanning shows the audited inventory.
+    std::cout << ToSarif(findings) << "\n";
+  } else if (cli.json) {
     std::cout << "[\n";
     bool first = true;
     for (const Finding& f : findings) {
