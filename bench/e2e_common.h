@@ -98,17 +98,12 @@ inline void PrintE2eRows(const std::string& title,
   PrintHeader(title + " — per-function slowdown",
               {"variant", "p50", "p99", "mean"});
   for (const auto& [name, r] : results) {
-    PrintRow({name, StrFormat("%.2f", r.report.slowdown.Median()),
-              StrFormat("%.1f", r.report.slowdown.P99()),
-              StrFormat("%.2f", r.report.slowdown.Mean())});
+    PrintRow(SummaryRow(name, r.report.slowdown, 2, 1, 2));
   }
   PrintHeader(title + " — per-function scheduling latency (ms)",
               {"variant", "p50", "p99", "mean"});
   for (const auto& [name, r] : results) {
-    PrintRow({name,
-              StrFormat("%.1f", r.report.scheduling_latency_ms.Median()),
-              StrFormat("%.0f", r.report.scheduling_latency_ms.P99()),
-              StrFormat("%.1f", r.report.scheduling_latency_ms.Mean())});
+    PrintRow(SummaryRow(name, r.report.scheduling_latency_ms, 1, 0, 1));
   }
   PrintHeader(title + " — volume", {"variant", "requests", "completed",
                                     "instances", "scale calls"});

@@ -16,6 +16,7 @@
 
 #include "cluster/cluster.h"
 #include "common/strings.h"
+#include "summary.h"
 
 namespace kd::bench {
 
@@ -143,32 +144,7 @@ inline Duration RunDownscale(cluster::ClusterConfig config, int functions,
   return down ? engine.now() - start : -1;
 }
 
-// --- table printing -----------------------------------------------------
-
-inline void PrintHeader(const std::string& title,
-                        const std::vector<std::string>& columns) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  for (const auto& column : columns) std::printf("%14s", column.c_str());
-  std::printf("\n");
-}
-
-inline void PrintRow(const std::vector<std::string>& cells) {
-  for (const auto& cell : cells) std::printf("%14s", cell.c_str());
-  std::printf("\n");
-}
-
-inline std::string Ms(Duration d) {
-  if (d < 0) return "timeout";
-  return StrFormat("%.1fms", ToMillis(d));
-}
-inline std::string Secs(Duration d) {
-  if (d < 0) return "timeout";
-  return StrFormat("%.2fs", ToSeconds(d));
-}
-inline std::string Ratio(Duration slow, Duration fast) {
-  if (slow <= 0 || fast <= 0) return "-";
-  return StrFormat("%.1fx", static_cast<double>(slow) /
-                                static_cast<double>(fast));
-}
+// Table printing lives in summary.h (shared with the e2e and scenario
+// benches).
 
 }  // namespace kd::bench

@@ -1,0 +1,66 @@
+// Table and latency-summary printing shared by every bench binary.
+// Hoisted out of harness.h / e2e_common.h so figure benches, e2e
+// benches, and the scenario benches format results identically.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/time.h"
+
+namespace kd::bench {
+
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& column : columns) std::printf("%14s", column.c_str());
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& cell : cells) std::printf("%14s", cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Ms(Duration d) {
+  if (d < 0) return "timeout";
+  return StrFormat("%.1fms", ToMillis(d));
+}
+inline std::string Secs(Duration d) {
+  if (d < 0) return "timeout";
+  return StrFormat("%.2fs", ToSeconds(d));
+}
+inline std::string Ratio(Duration slow, Duration fast) {
+  if (slow <= 0 || fast <= 0) return "-";
+  return StrFormat("%.1fx", static_cast<double>(slow) /
+                                static_cast<double>(fast));
+}
+inline std::string RatioF(double slow, double fast) {
+  if (slow <= 0 || fast <= 0) return "-";
+  return StrFormat("%.1fx", slow / fast);
+}
+
+// The p50/p99/mean triple every distribution row prints; precisions
+// are printf digits-after-the-point for each cell.
+inline std::vector<std::string> SummaryCells(const Sample& sample,
+                                             int p50_prec, int p99_prec,
+                                             int mean_prec) {
+  return {StrFormat("%.*f", p50_prec, sample.Median()),
+          StrFormat("%.*f", p99_prec, sample.P99()),
+          StrFormat("%.*f", mean_prec, sample.Mean())};
+}
+
+// `label` followed by the sample's summary cells — one table row.
+inline std::vector<std::string> SummaryRow(const std::string& label,
+                                           const Sample& sample, int p50_prec,
+                                           int p99_prec, int mean_prec) {
+  std::vector<std::string> cells =
+      SummaryCells(sample, p50_prec, p99_prec, mean_prec);
+  cells.insert(cells.begin(), label);
+  return cells;
+}
+
+}  // namespace kd::bench

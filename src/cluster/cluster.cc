@@ -33,7 +33,8 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     control_plane_->AddAdmissionHook(kubedirect::MakeReplicasGuard());
   }
 
-  autoscaler_ = std::make_unique<controllers::Autoscaler>(*env_, config_.mode);
+  autoscaler_ = std::make_unique<controllers::Autoscaler>(*env_, config_.mode,
+                                                          config_.autoscaler);
   deployment_controller_ =
       std::make_unique<controllers::DeploymentController>(*env_, config_.mode);
   replicaset_controller_ =
@@ -61,6 +62,23 @@ std::string Cluster::NodeName(int index) {
   return StrFormat("node-%04d", index);
 }
 
+std::string Cluster::PoolOfNode(int index) const {
+  int base = 0;
+  for (const NodePool& pool : config_.node_pools) {
+    if (index < base + pool.count) return pool.name;
+    base += pool.count;
+  }
+  return "";
+}
+
+std::vector<std::string> Cluster::NodesInPool(const std::string& pool) const {
+  std::vector<std::string> out;
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    if (PoolOfNode(i) == pool) out.push_back(NodeName(i));
+  }
+  return out;
+}
+
 controllers::Kubelet* Cluster::kubelet_by_node(const std::string& node_name) {
   for (auto& kubelet : kubelets_) {
     if (kubelet->node_name() == node_name) return kubelet.get();
@@ -72,8 +90,11 @@ void Cluster::Boot() {
   // Node objects first (the Scheduler's informer discovers them and, in
   // Kd mode, dials each Kubelet).
   for (int i = 0; i < config_.num_nodes; ++i) {
-    control_plane_->SeedObject(model::MakeNode(NodeName(i), config_.node_cpu_milli,
-                                           config_.node_memory_mb));
+    ApiObject node = model::MakeNode(NodeName(i), config_.node_cpu_milli,
+                                     config_.node_memory_mb);
+    const std::string pool = PoolOfNode(i);
+    if (!pool.empty()) model::SetNodePool(node, pool);
+    control_plane_->SeedObject(std::move(node));
   }
   for (auto& kubelet : kubelets_) kubelet->Start();
   scheduler_->Start();

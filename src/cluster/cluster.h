@@ -42,6 +42,16 @@ enum class SandboxKind { kStock, kDirigent };
 // environment variable (the CI S∈{1,4} matrix), defaulting to 1.
 int DefaultNumShards();
 
+// Heterogeneous node pools ("ondemand" vs "spot", scenario engine):
+// nodes are assigned to pools in index order, `count` nodes each; any
+// remainder stays in the unnamed default pool. An empty pool list
+// leaves the Node objects exactly as before (no pool field), so every
+// pre-pool fingerprint is preserved.
+struct NodePool {
+  std::string name;
+  int count = 0;
+};
+
 struct ClusterConfig {
   controllers::Mode mode = controllers::Mode::kK8s;
   SandboxKind sandbox = SandboxKind::kStock;
@@ -50,6 +60,8 @@ struct ClusterConfig {
   std::int64_t node_memory_mb = 64 * 1024;
   CostModel cost = CostModel::Default();
   controllers::SchedulerOptions scheduler;
+  controllers::AutoscalerOptions autoscaler;
+  std::vector<NodePool> node_pools;
   // Use the padded ~17 KB pod template (realistic wire sizes). Tests
   // that only exercise logic can switch to the minimal template.
   bool realistic_pod_template = true;
@@ -142,6 +154,11 @@ class Cluster {
   std::string RsName(const std::string& function_name) const {
     return function_name + "-v1";
   }
+
+  // Pool of node `index` per config_.node_pools ("" = default pool).
+  std::string PoolOfNode(int index) const;
+  // Node names belonging to `pool`, in index order.
+  std::vector<std::string> NodesInPool(const std::string& pool) const;
 
  private:
   sim::Engine& engine_;

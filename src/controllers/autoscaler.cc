@@ -8,9 +8,11 @@ namespace kd::controllers {
 using model::ApiObject;
 using model::kKindDeployment;
 
-Autoscaler::Autoscaler(runtime::Env& env, Mode mode)
+Autoscaler::Autoscaler(runtime::Env& env, Mode mode,
+                       AutoscalerOptions options)
     : env_(env),
       mode_(mode),
+      options_(options),
       harness_(env, mode,
                {.name = "autoscaler",
                 .client_id = "autoscaler",
@@ -28,6 +30,9 @@ Autoscaler::Autoscaler(runtime::Env& env, Mode mode)
   link.kind_filter = "__none__";
   link.callbacks.on_ready = [this](const kubedirect::ChangeSet&) {
     last_sent_.clear();
+    // A re-handshake opens a fresh steady period: the chain just came
+    // back, so demand-driven scale-downs wait out the hold window.
+    if (options_.scale_down_hold > 0) steady_since_ = env_.engine.now();
     for (const auto& [name, replicas] : desired_) harness_.loop().Enqueue(name);
   };
   link.callbacks.on_down = [this] { last_sent_.clear(); };
@@ -36,7 +41,13 @@ Autoscaler::Autoscaler(runtime::Env& env, Mode mode)
   harness_.OnCrash([this] {
     desired_.clear();
     last_sent_.clear();
+    last_applied_.clear();
   });
+}
+
+void Autoscaler::Restart() {
+  if (options_.scale_down_hold > 0) steady_since_ = env_.engine.now();
+  harness_.Restart();
 }
 
 void Autoscaler::ScaleTo(const std::string& deployment_name,
@@ -51,12 +62,32 @@ std::int64_t Autoscaler::DesiredFor(const std::string& deployment_name) const {
   return it == desired_.end() ? -1 : it->second;
 }
 
+bool Autoscaler::HoldScaleDown(const std::string& deployment_name,
+                               std::int64_t replicas) const {
+  if (options_.scale_down_hold <= 0) return false;
+  if (env_.engine.now() >= steady_since_ + options_.scale_down_hold) {
+    return false;
+  }
+  auto applied = last_applied_.find(deployment_name);
+  return applied != last_applied_.end() && replicas < applied->second;
+}
+
 Duration Autoscaler::Reconcile(const std::string& deployment_name) {
   auto it = desired_.find(deployment_name);
   if (it == desired_.end()) return 0;
   const std::int64_t replicas = it->second;
   auto sent = last_sent_.find(deployment_name);
   if (sent != last_sent_.end() && sent->second == replicas) return 0;
+  if (HoldScaleDown(deployment_name, replicas)) {
+    // Upgrade-pause anti-flap: defer the scale-down until the hold
+    // window expires; the deferred reconcile re-reads desired_, so a
+    // demand recovery in the meantime simply wins.
+    env_.metrics.Count("autoscaler.scale_down_held");
+    harness_.loop().EnqueueAfter(
+        deployment_name,
+        steady_since_ + options_.scale_down_hold - env_.engine.now());
+    return 0;
+  }
   SendScale(deployment_name, replicas);
   return 0;
 }
@@ -77,6 +108,7 @@ void Autoscaler::SendScale(const std::string& deployment_name,
                       kubedirect::KdValue::Literal(replicas));
     downstream->SendUpsert(msg);
     last_sent_[deployment_name] = replicas;
+    last_applied_[deployment_name] = replicas;
     env_.metrics.MarkStop("autoscaler", env_.engine.now());
     return;
   }
@@ -91,12 +123,14 @@ void Autoscaler::SendScale(const std::string& deployment_name,
   }
   if (model::GetReplicas(*cached) == replicas) {
     last_sent_[deployment_name] = replicas;
+    last_applied_[deployment_name] = replicas;
     env_.metrics.MarkStop("autoscaler", env_.engine.now());
     return;
   }
   ApiObject updated = *cached;
   model::SetReplicas(updated, replicas);
   last_sent_[deployment_name] = replicas;
+  last_applied_[deployment_name] = replicas;
   harness_.api().Update(
       updated, [this, deployment_name](StatusOr<ApiObject> result) {
         env_.metrics.MarkStop("autoscaler", env_.engine.now());

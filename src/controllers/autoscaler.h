@@ -25,9 +25,22 @@
 
 namespace kd::controllers {
 
+struct AutoscalerOptions {
+  // Scale-DOWN hold-down after a restart or a downstream-link
+  // re-handshake (a rolling control-plane upgrade, §scenario): demand
+  // estimates are distorted while the chain reconnects — requests
+  // queue during the pause, the panic heuristic inflates desired, and
+  // the post-recovery correction would whipsaw capacity down and back
+  // up. Holding scale-downs (scale-ups always pass) keeps the fleet
+  // steady until the window expires; the deferred reconcile then
+  // applies the policy's latest word. 0 disables (default: behaviour
+  // and event traces identical to the pre-option tree).
+  Duration scale_down_hold = 0;
+};
+
 class KD_LANE_OWNED(autoscaler) Autoscaler {
  public:
-  Autoscaler(runtime::Env& env, Mode mode);
+  Autoscaler(runtime::Env& env, Mode mode, AutoscalerOptions options = {});
 
   // Syncs the Deployment informer (and in Kd mode connects the link to
   // the Deployment controller).
@@ -43,7 +56,7 @@ class KD_LANE_OWNED(autoscaler) Autoscaler {
   // Restart re-syncs. The platform re-issues desired scales on its
   // next evaluation tick (level-triggered).
   void Crash() { harness_.Crash(); }
-  void Restart() { harness_.Restart(); }
+  void Restart();
 
   // Fault-injection seams (crash-point sweep).
   runtime::ControllerHarness& harness() { return harness_; }
@@ -53,9 +66,14 @@ class KD_LANE_OWNED(autoscaler) Autoscaler {
  private:
   Duration Reconcile(const std::string& deployment_name);
   void SendScale(const std::string& deployment_name, std::int64_t replicas);
+  // True while a scale-down for `deployment_name` must wait out the
+  // post-recovery hold window (options_.scale_down_hold).
+  bool HoldScaleDown(const std::string& deployment_name,
+                     std::int64_t replicas) const;
 
   runtime::Env& env_;
   Mode mode_;
+  AutoscalerOptions options_;
   runtime::ControllerHarness harness_;
   runtime::ObjectCache cache_;  // Deployments (informer view)
 
@@ -66,6 +84,16 @@ class KD_LANE_OWNED(autoscaler) Autoscaler {
   // the next scaling call.
   std::map<std::string, std::int64_t> desired_;
   std::map<std::string, std::int64_t> last_sent_;
+  // Highest value ever handed downstream per deployment — unlike
+  // last_sent_ it survives link churn (cleared only by a crash), so
+  // the hold window knows what "down" means right after a re-handshake
+  // wiped last_sent_.
+  std::map<std::string, std::int64_t> last_applied_;
+  // Start of the current steady period: the later of our last restart
+  // and the downstream link's last re-handshake. Scale-downs wait
+  // until steady_since_ + scale_down_hold.
+  Time steady_since_ = kNeverSteady;
+  static constexpr Time kNeverSteady = -(1ll << 60);
 };
 
 }  // namespace kd::controllers

@@ -49,6 +49,10 @@ Scheduler::Scheduler(runtime::Env& env, Mode mode, SchedulerOptions options)
       // Link already up: no handshake-ready will retrigger the clear.
       if (harness_.DownstreamReady(after->name)) UncancelNode(after->name);
     }
+    // Spot-reclamation notice (scenario engine): both modes honour it —
+    // stop placing onto the doomed node and drain it within the grace
+    // window so replacements land before the provider pulls the machine.
+    OnReclaimNotice(after->name, model::GetNodeReclaimAtMs(*after));
     if (mode_ == Mode::kKd && !harness_.crashed()) {
       EnsureKubeletLink(after->name);
     }
@@ -169,6 +173,58 @@ void Scheduler::EnsureKubeletLink(const std::string& node_name) {
 std::int64_t Scheduler::AllocatedCpuOn(const std::string& node_name) const {
   auto it = nodes_.find(node_name);
   return it == nodes_.end() ? 0 : it->second.cpu_allocated;
+}
+
+bool Scheduler::IsNodeDraining(const std::string& node_name) const {
+  auto it = nodes_.find(node_name);
+  return it != nodes_.end() && it->second.draining;
+}
+
+void Scheduler::OnReclaimNotice(const std::string& node_name,
+                                std::int64_t reclaim_at_ms) {
+  NodeState& state = nodes_[node_name];
+  if (reclaim_at_ms == state.reclaim_at_ms) return;
+  state.reclaim_at_ms = reclaim_at_ms;
+  if (reclaim_at_ms == 0) {
+    // Notice cleared: the machine was replaced (or the reclamation was
+    // revoked) — the node takes pods again.
+    state.draining = false;
+    return;
+  }
+  if (state.draining) return;  // refreshed deadline on an active drain
+  state.draining = true;
+  env_.metrics.Count("nodes_draining");
+  DrainNode(node_name);
+}
+
+void Scheduler::DrainNode(const std::string& node_name) {
+  NodeState& state = nodes_[node_name];
+  if (state.cancelled) return;  // pods already assumed terminated
+  std::vector<std::string> victims;
+  for (const ApiObject* pod : pod_cache_.List(kKindPod)) {
+    if (model::GetNodeName(*pod) == node_name) victims.push_back(pod->Key());
+  }
+  if (mode_ == Mode::kK8s) {
+    // Graceful K8s drain: delete each pod through the API; the
+    // ReplicaSet controller's informer observes the deletions and
+    // replaces the pods elsewhere (the draining node is excluded from
+    // PickNode by now).
+    for (const std::string& key : victims) {
+      const ApiObject* pod = pod_cache_.Get(key);
+      if (pod == nullptr || model::IsTerminating(*pod)) continue;
+      harness_.api().Delete(kKindPod, pod->name, [](Status) {});
+    }
+    return;
+  }
+  // Kd drain: the §4.3 termination path, pod by pod — tombstone toward
+  // the owning Kubelet; its Remove signal invalidates upstream, and the
+  // ReplicaSet controller replaces the pod with a fresh identity.
+  kubedirect::HierarchyClient* client = harness_.downstream(node_name);
+  for (const std::string& key : victims) {
+    if (harness_.tombstones().Has(key)) continue;  // already condemned
+    harness_.tombstones().Add(key, env_.engine.now());
+    if (client != nullptr && client->ready()) client->SendTombstone(key);
+  }
 }
 
 void Scheduler::OnPodMessage(const kubedirect::KdMessage& msg) {
@@ -309,7 +365,7 @@ std::string Scheduler::PickNode(const ApiObject& pod, Duration& scan_cost) {
   const NodeState* best = nullptr;
   const std::string* best_name = nullptr;
   for (const auto& [name, state] : nodes_) {
-    if (state.cancelled || state.cpu_capacity <= 0) continue;
+    if (state.cancelled || state.draining || state.cpu_capacity <= 0) continue;
     // Kd mode: never bind toward a Kubelet whose link is down or mid
     // handshake — the binding would be invisible to the in-flight
     // version comparison and the pod would strand until the next

@@ -57,6 +57,9 @@ class KD_LANE_OWNED(scheduler) Scheduler {
 
   // Observability.
   std::int64_t AllocatedCpuOn(const std::string& node_name) const;
+  // True while the node carries a reclaim notice: excluded from
+  // placement, pods draining toward other nodes (scenario engine).
+  bool IsNodeDraining(const std::string& node_name) const;
   const runtime::ObjectCache& pod_cache() const { return pod_cache_; }
   bool KubeletLinkReady(const std::string& node_name) const {
     return harness_.DownstreamReady(node_name);
@@ -69,6 +72,11 @@ class KD_LANE_OWNED(scheduler) Scheduler {
     std::int64_t cpu_allocated = 0;
     int consecutive_failures = 0;
     bool cancelled = false;
+    // A reclaim notice is pending (spot reclamation, §scenario): the
+    // node takes no new pods and its current pods are drained toward
+    // the rest of the cluster within the grace window.
+    bool draining = false;
+    std::int64_t reclaim_at_ms = 0;  // last observed notice (0 = none)
     // An invalid=false Node write is in flight (un-cancel commit gate).
     bool uncancel_inflight = false;
     // Highest resourceVersion among our own committed Node writes —
@@ -85,6 +93,13 @@ class KD_LANE_OWNED(scheduler) Scheduler {
   // outage) — drains every pod on the node (§4.3). Placing before the
   // commit hands that drain fresh victims.
   void UncancelNode(const std::string& node_name);
+  // Reacts to a reclaim-notice change on a Node object: marks the node
+  // draining and terminates its pods gracefully (Kd: tombstone path;
+  // K8s: API deletes) so the ReplicaSet controller replaces them on
+  // healthy nodes before the provider pulls the machine.
+  void OnReclaimNotice(const std::string& node_name,
+                       std::int64_t reclaim_at_ms);
+  void DrainNode(const std::string& node_name);
   // Picks the least-allocated feasible node; returns "" if none fit.
   std::string PickNode(const model::ApiObject& pod, Duration& scan_cost);
   void EnsureKubeletLink(const std::string& node_name);

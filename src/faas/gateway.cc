@@ -81,21 +81,54 @@ void Gateway::StartOn(FunctionState& state, const std::string& address,
   record.cold_start = was_queued;
 
   const std::string function = inv.function;
-  engine_.ScheduleAt(record.completed, [this, function, address, record] {
+  const std::uint64_t id = next_request_id_++;
+  instance.inflight.emplace(id, std::move(inv));
+  engine_.ScheduleAt(record.completed, [this, function, address, id, record] {
     auto it = functions_.find(function);
     if (it == functions_.end()) return;
     FunctionState& state2 = it->second;
     auto inst_it = state2.instances.find(address);
-    if (inst_it != state2.instances.end()) {
-      --inst_it->second.busy;
-      if (inst_it->second.retired && inst_it->second.busy == 0) {
-        state2.instances.erase(inst_it);
-      }
+    if (inst_it == state2.instances.end() ||
+        inst_it->second.inflight.erase(id) == 0) {
+      // The instance died mid-request (FailInstances): the invocation
+      // went back to the queue and this timer has nothing to settle.
+      return;
+    }
+    --inst_it->second.busy;
+    if (inst_it->second.retired && inst_it->second.busy == 0) {
+      state2.instances.erase(inst_it);
     }
     --state2.executing;
     records_.push_back(record);
     Dispatch(state2);
   });
+}
+
+std::size_t Gateway::FailInstances(const std::vector<std::string>& addresses) {
+  const std::set<std::string> dead(addresses.begin(), addresses.end());
+  std::size_t removed = 0;
+  for (auto& [function, state] : functions_) {
+    bool touched = false;
+    for (const std::string& address : dead) {
+      auto inst_it = state.instances.find(address);
+      if (inst_it == state.instances.end()) continue;
+      Instance& instance = inst_it->second;
+      // Requeue at the head, oldest first: these requests were already
+      // running and should not wait behind the backlog again.
+      for (auto rit = instance.inflight.rbegin();
+           rit != instance.inflight.rend(); ++rit) {
+        state.queue.push_front({std::move(rit->second)});
+        ++requeued_on_failure_;
+      }
+      state.executing -= static_cast<std::int64_t>(instance.inflight.size());
+      state.instances.erase(inst_it);
+      ++removed;
+      ++instances_failed_;
+      touched = true;
+    }
+    if (touched) Dispatch(state);
+  }
+  return removed;
 }
 
 void Gateway::Dispatch(FunctionState& state) {
@@ -125,6 +158,16 @@ std::int64_t Gateway::Queued(const std::string& function) const {
 std::int64_t Gateway::Executing(const std::string& function) const {
   auto it = functions_.find(function);
   return it == functions_.end() ? 0 : it->second.executing;
+}
+
+std::vector<std::string> Gateway::Endpoints(const std::string& function) const {
+  std::vector<std::string> out;
+  auto it = functions_.find(function);
+  if (it == functions_.end()) return out;
+  for (const auto& [address, instance] : it->second.instances) {
+    if (!instance.retired) out.push_back(address);
+  }
+  return out;
 }
 
 std::size_t Gateway::EndpointCount(const std::string& function) const {

@@ -33,6 +33,14 @@ class KD_LANE_OWNED(faas) Gateway {
   void UpdateEndpoints(const std::string& function,
                        const std::vector<std::string>& addresses);
 
+  // Abrupt instance loss (spot reclamation): unlike the graceful
+  // retirement of UpdateEndpoints, the instances die NOW — their
+  // in-flight requests are pushed back to the head of the queue and
+  // re-dispatched to surviving capacity, so no invocation is lost (it
+  // just pays the retry as extra scheduling latency). Returns the
+  // number of instances removed.
+  std::size_t FailInstances(const std::vector<std::string>& addresses);
+
   // A request arrives. Dispatches immediately if an instance has a
   // free slot; otherwise queues (the request will be started when
   // capacity appears — a cold start if that capacity is a new
@@ -44,6 +52,9 @@ class KD_LANE_OWNED(faas) Gateway {
   std::int64_t Queued(const std::string& function) const;
   std::int64_t Executing(const std::string& function) const;
   std::size_t EndpointCount(const std::string& function) const;
+  // Live (non-retired) instance addresses — what the gateway would
+  // route to right now (the SloGuard's endpoint-staleness probe).
+  std::vector<std::string> Endpoints(const std::string& function) const;
 
   // Fires when a request queues because no instance had a free slot —
   // the autoscaler's fast-path trigger (Knative's activator).
@@ -55,11 +66,17 @@ class KD_LANE_OWNED(faas) Gateway {
   const std::vector<RequestRecord>& records() const { return records_; }
   std::uint64_t total_invocations() const { return total_invocations_; }
   std::uint64_t queued_starts() const { return queued_starts_; }
+  std::uint64_t instances_failed() const { return instances_failed_; }
+  std::uint64_t requeued_on_failure() const { return requeued_on_failure_; }
 
  private:
   struct Instance {
     int busy = 0;       // occupied slots
     bool retired = false;  // removed from endpoints; drains, no new work
+    // In-flight invocations by request id — what FailInstances pushes
+    // back to the queue when the instance dies abruptly. A request's
+    // completion timer only records if its id is still present here.
+    std::map<std::uint64_t, Invocation> inflight;
   };
   struct PendingRequest {
     Invocation inv;
@@ -84,6 +101,9 @@ class KD_LANE_OWNED(faas) Gateway {
   std::vector<RequestRecord> records_;
   std::uint64_t total_invocations_ = 0;
   std::uint64_t queued_starts_ = 0;
+  std::uint64_t instances_failed_ = 0;
+  std::uint64_t requeued_on_failure_ = 0;
+  std::uint64_t next_request_id_ = 1;
 };
 
 }  // namespace kd::faas

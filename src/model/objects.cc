@@ -197,6 +197,20 @@ void SetNodeInvalid(ApiObject& node, bool invalid) {
   node.spec["invalid"] = invalid;
 }
 
+std::string GetNodePool(const ApiObject& node) {
+  return node.spec["pool"].as_string();
+}
+void SetNodePool(ApiObject& node, const std::string& pool) {
+  node.spec["pool"] = pool;
+}
+
+std::int64_t GetNodeReclaimAtMs(const ApiObject& node) {
+  return node.spec["reclaimAtMs"].as_int();
+}
+void SetNodeReclaimAtMs(ApiObject& node, std::int64_t at_ms) {
+  node.spec["reclaimAtMs"] = at_ms;
+}
+
 std::int64_t GetRevision(const ApiObject& obj) {
   return obj.spec["revision"].as_int();
 }

@@ -118,6 +118,20 @@ void SetMemoryMb(ApiObject& obj, std::int64_t mb);
 bool IsNodeInvalid(const ApiObject& node);
 void SetNodeInvalid(ApiObject& node, bool invalid);
 
+// Heterogeneous node pools (e.g. "ondemand" vs "spot"): an optional
+// spec field so unpooled clusters serialize exactly as before. An
+// absent pool reads as "" — callers treat that as the default pool.
+std::string GetNodePool(const ApiObject& node);
+void SetNodePool(ApiObject& node, const std::string& pool);
+
+// Spot-reclamation notice (scenario engine): absolute simulated time,
+// in milliseconds, at which the provider reclaims the node. 0 = no
+// notice pending. The Scheduler honours a pending notice by excluding
+// the node from placement and draining its pods within the grace
+// window; clearing the field re-admits the node.
+std::int64_t GetNodeReclaimAtMs(const ApiObject& node);
+void SetNodeReclaimAtMs(ApiObject& node, std::int64_t at_ms);
+
 // Deployment revision -> ReplicaSet selection (versioning/rollouts).
 std::int64_t GetRevision(const ApiObject& obj);
 void SetRevision(ApiObject& obj, std::int64_t rev);

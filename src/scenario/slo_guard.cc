@@ -1,0 +1,64 @@
+#include "scenario/slo_guard.h"
+
+#include <iterator>
+
+#include "common/strings.h"
+
+namespace kd::scenario {
+
+void SloGuard::SetTripped(Time now, const std::string& guard, bool in_breach,
+                         const std::string& detail) {
+  if (in_breach) {
+    if (tripped_.insert(guard).second) {
+      breaches_.push_back(Breach{now, guard, detail});
+    }
+  } else {
+    tripped_.erase(guard);
+  }
+}
+
+void SloGuard::Observe(Time now, const SloSnapshot& snapshot) {
+  if (limits_.cold_p99_ratio > 0 && limits_.quiet_cold_p99_ms > 0) {
+    const double bound = limits_.cold_p99_ratio * limits_.quiet_cold_p99_ms;
+    const bool over =
+        snapshot.have_cold_sample && snapshot.recent_cold_p99_ms > bound;
+    SetTripped(now, "cold-p99", over,
+               StrFormat("recent cold p99 %.2fms > %.2fms (%.1fx quiet)",
+                         snapshot.recent_cold_p99_ms, bound,
+                         limits_.cold_p99_ratio));
+  }
+
+  if (limits_.endpoint_staleness > 0) {
+    const std::set<std::string> current(snapshot.stale_functions.begin(),
+                                        snapshot.stale_functions.end());
+    for (auto it = stale_since_.begin(); it != stale_since_.end();) {
+      it = current.count(it->first) == 0 ? stale_since_.erase(it)
+                                         : std::next(it);
+    }
+    std::string worst;
+    Duration worst_age = 0;
+    for (const std::string& function : snapshot.stale_functions) {
+      const auto [it, fresh] = stale_since_.emplace(function, now);
+      const Duration age = now - it->second;
+      if (age >= worst_age && !fresh) {
+        worst_age = age;
+        worst = function;
+      }
+    }
+    SetTripped(now, "endpoint-staleness",
+               worst_age >= limits_.endpoint_staleness && !worst.empty(),
+               StrFormat("'%s' stale for %.1fs", worst.c_str(),
+                         ToSeconds(worst_age)));
+  }
+
+  if (limits_.check_no_lost) {
+    const std::int64_t lost = snapshot.invocations_issued -
+                              snapshot.invocations_completed -
+                              snapshot.invocations_pending;
+    SetTripped(now, "lost-invocations", lost != 0,
+               StrFormat("%lld invocations unaccounted for",
+                         static_cast<long long>(lost)));
+  }
+}
+
+}  // namespace kd::scenario

@@ -25,7 +25,15 @@
 //
 // The action set covers the whole chain, including crash/restart of
 // the Endpoints controller and KubeProxy and partition/heal of their
-// link.
+// link, plus two operational actions from the scenario engine's
+// catalog: spot-reclaim notices (mark -> drain -> machine taken ->
+// replacement) and single rolling-upgrade steps (a cursor through the
+// downstream-first victim order). A Gateway rides the walk through the
+// cluster's real endpoint-discovery leg, with invocations issued at
+// random steps; its accounting invariant — every invocation ever
+// issued is completed or still pending, at EVERY step — is the
+// no-lost-invocations-during-drain guarantee the scenario engine's
+// SloGuard checks, here under arbitrary interleavings.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -37,6 +45,7 @@
 #include "cluster/cluster.h"
 #include "common/fault_point.h"
 #include "common/rng.h"
+#include "faas/gateway.h"
 #include "model/objects.h"
 
 namespace kd::cluster {
@@ -61,6 +70,18 @@ class ModelWalk {
     cluster_ = std::make_unique<Cluster>(engine_, std::move(config));
     cluster_->Boot();
     cluster_->RegisterFunction("fn");
+    // A gateway on the cluster's real endpoint-discovery leg, the same
+    // wiring ClusterBackend uses: KubeProxy's sink feeds the routing
+    // table the invocations dispatch against.
+    gateway_ = std::make_unique<faas::Gateway>(engine_);
+    faas::FunctionSpec spec;
+    spec.name = "fn";
+    gateway_->RegisterFunction(spec);
+    cluster_->kube_proxy().SetSink(
+        [this](const std::string& function,
+               const std::vector<std::string>& addresses) {
+          gateway_->UpdateEndpoints(function, addresses);
+        });
   }
 
   void Run(int steps) {
@@ -73,7 +94,7 @@ class ModelWalk {
 
  private:
   void Step() {
-    switch (rng_.UniformInt(13)) {
+    switch (rng_.UniformInt(15)) {
       case 0:
       case 1:
       case 2: {  // scaling command (weighted: the common action)
@@ -98,6 +119,10 @@ class ModelWalk {
           case 3:
             cluster_->scheduler().Crash();
             cluster_->scheduler().Restart();
+            // A fresh scheduler re-learns reclamation marks from the
+            // node informer; the drain-placement invariant
+            // re-baselines once it does.
+            drain_baseline_.clear();
             break;
           case 4:
             cluster_->endpoints_controller().Crash();
@@ -204,11 +229,79 @@ class ModelWalk {
         cluster_->apiserver().RestartShard(s);
         break;
       }
+      case 12: {  // spot-reclaim notice / completion (scenario catalog)
+        const int k = static_cast<int>(rng_.UniformInt(kNodes));
+        const std::string node = Cluster::NodeName(k);
+        if (reclaim_marked_.count(node)) {
+          // The provider takes the machine: instances on it die
+          // abruptly (the gateway requeues their in-flight work), the
+          // kubelet goes down, and the replacement comes back with a
+          // cleared mark.
+          FailInstancesOn(node);
+          cluster_->kubelet(k).Crash();
+          MarkReclaim(node, 0);
+          cluster_->kubelet(k).Restart();
+          reclaim_marked_.erase(node);
+          drain_baseline_.erase(node);
+        } else if (reclaim_marked_.size() + 1 <
+                   static_cast<std::size_t>(kNodes)) {
+          // Leave at least one node unmarked so close-time convergence
+          // always has somewhere to place.
+          MarkReclaim(node, static_cast<std::int64_t>(
+                                ToMillis(engine_.now() + Minutes(10))));
+          reclaim_marked_.insert(node);
+        }
+        break;
+      }
+      case 13: {  // one rolling-upgrade step (downstream-first cursor)
+        const int victims = 5 + cluster_->apiserver().num_shards();
+        const int v = upgrade_cursor_ % victims;
+        switch (v) {
+          case 0:
+            cluster_->scheduler().Crash();
+            cluster_->scheduler().Restart();
+            drain_baseline_.clear();
+            break;
+          case 1:
+            cluster_->replicaset_controller().Crash();
+            cluster_->replicaset_controller().Restart();
+            break;
+          case 2:
+            cluster_->endpoints_controller().Crash();
+            cluster_->endpoints_controller().Restart();
+            break;
+          case 3:
+            cluster_->deployment_controller().Crash();
+            cluster_->deployment_controller().Restart();
+            break;
+          case 4:
+            cluster_->autoscaler().Crash();
+            cluster_->autoscaler().Restart();
+            break;
+          default:
+            cluster_->apiserver().CrashShard(v - 5);
+            cluster_->apiserver().RestartShard(v - 5);
+            break;
+        }
+        ++upgrade_cursor_;
+        cluster_->ScaleTo("fn", desired_);  // level-triggered re-issue
+        break;
+      }
       default: {  // advance time
         engine_.RunFor(Milliseconds(static_cast<std::int64_t>(
             1 + rng_.UniformInt(400))));
         break;
       }
+    }
+    // Data-plane traffic rides the walk: invocations at random steps
+    // exercise the gateway across drains, upgrades, and partitions.
+    if (rng_.UniformInt(2) == 0) {
+      faas::Invocation inv;
+      inv.function = "fn";
+      inv.arrival = engine_.now();
+      inv.duration = Milliseconds(
+          static_cast<std::int64_t>(20 + rng_.UniformInt(300)));
+      gateway_->Invoke(std::move(inv));
     }
     engine_.RunFor(Milliseconds(static_cast<std::int64_t>(
         rng_.UniformInt(50))));
@@ -231,6 +324,7 @@ class ModelWalk {
     }
     if (cluster_->scheduler().harness().crashed()) {
       cluster_->scheduler().Restart();
+      drain_baseline_.clear();
       restarted = true;
     }
     if (cluster_->replicaset_controller().harness().crashed()) {
@@ -282,6 +376,31 @@ class ModelWalk {
     partitioned_.clear();
   }
 
+  // Writes the provider's reclamation notice (absolute sim ms; 0
+  // clears) onto the Node object — the same store-seeded channel the
+  // ScenarioRunner uses.
+  void MarkReclaim(const std::string& node, std::int64_t at_ms) {
+    const ApiObject* current =
+        cluster_->apiserver().Peek(model::kKindNode, node);
+    if (current == nullptr) return;
+    ApiObject copy = *current;
+    model::SetNodeReclaimAtMs(copy, at_ms);
+    cluster_->apiserver().SeedObject(std::move(copy));
+  }
+
+  // Abrupt instance loss: the Running pods' addresses on `node` die at
+  // the gateway; their in-flight work requeues, never drops.
+  void FailInstancesOn(const std::string& node) {
+    std::vector<std::string> doomed;
+    for (const ApiObject* pod : cluster_->apiserver().PeekAll(kKindPod)) {
+      if (model::GetNodeName(*pod) == node &&
+          model::GetPodPhase(*pod) == model::PodPhase::kRunning) {
+        doomed.push_back(model::GetPodIp(*pod));
+      }
+    }
+    if (!doomed.empty()) gateway_->FailInstances(doomed);
+  }
+
   // Invariants that must hold at EVERY step, not only at quiescence.
   void CheckStepInvariants() {
     // Uniqueness: one pod, at most one kubelet.
@@ -306,11 +425,49 @@ class ModelWalk {
       if (!now.count(name)) ever_deleted_.insert(name);
     }
     ever_published_.insert(now.begin(), now.end());
+    // NoPlacementOntoDraining: once the Scheduler marks a node
+    // draining, the set of pods it binds there only shrinks — fresh
+    // capacity goes elsewhere. Baselines reset on scheduler restarts
+    // (the mark is re-learned from the node informer).
+    for (int k = 0; k < kNodes; ++k) {
+      const std::string node = Cluster::NodeName(k);
+      if (!cluster_->scheduler().IsNodeDraining(node)) {
+        drain_baseline_.erase(node);
+        continue;
+      }
+      std::set<std::string> on_node;
+      for (const ApiObject* pod :
+           cluster_->scheduler().pod_cache().List(kKindPod)) {
+        if (model::GetNodeName(*pod) == node) on_node.insert(pod->Key());
+      }
+      auto it = drain_baseline_.find(node);
+      if (it == drain_baseline_.end()) {
+        drain_baseline_.emplace(node, std::move(on_node));
+        continue;
+      }
+      for (const std::string& key : on_node) {
+        ASSERT_TRUE(it->second.count(key))
+            << key << " newly placed onto draining node " << node;
+      }
+      it->second = std::move(on_node);
+    }
+    // NoLostInvocations, at every step: everything ever issued is
+    // completed or still pending (executing + queued). Reclaim
+    // failovers requeue in-flight work; they must never drop it.
+    ASSERT_EQ(static_cast<std::int64_t>(gateway_->total_invocations()),
+              static_cast<std::int64_t>(gateway_->records().size()) +
+                  gateway_->Demand("fn"));
   }
 
   void CloseAndCheckConvergence() {
     // Liveness Assumption (§4.4): total connectivity, long enough.
     HealAll();
+    // Outstanding reclamation notices are revoked (the replacement
+    // machines arrived): full placement capacity for the convergence
+    // check, same as the ScenarioRunner's respawn path.
+    for (const std::string& node : reclaim_marked_) MarkReclaim(node, 0);
+    reclaim_marked_.clear();
+    drain_baseline_.clear();
     // Unfired crash seams must not fire mid-close; a seam that fired
     // in the walk's last step still has its surprise shutdown pending
     // (deferred one engine step) — flush it, then repair.
@@ -392,13 +549,29 @@ class ModelWalk {
     // LaneSilence: zero cross-lane conflicts recorded over the walk.
     EXPECT_EQ(engine_.lane_checker().total_conflicts(), 0u)
         << engine_.lane_checker().FormatReport();
+    // Gateway drain: with any capacity at all, every still-pending
+    // invocation eventually dispatches and completes.
+    if (desired_ > 0) {
+      EXPECT_TRUE(cluster_->RunUntil(
+          [&] { return gateway_->Demand("fn") == 0; }, Seconds(600)))
+          << "queued invocations never drained";
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(gateway_->total_invocations()),
+              static_cast<std::int64_t>(gateway_->records().size()) +
+                  gateway_->Demand("fn"));
   }
 
   sim::Engine engine_;
   Rng rng_;
   std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<faas::Gateway> gateway_;
   int desired_ = 0;
+  int upgrade_cursor_ = 0;
   bool api_seam_armed_ = false;
+  // Nodes carrying an unexpired reclamation mark, and per draining
+  // node the pod set the Scheduler last had bound there (shrink-only).
+  std::set<std::string> reclaim_marked_;
+  std::map<std::string, std::set<std::string>> drain_baseline_;
   std::set<std::pair<std::string, std::string>> partitioned_;
   std::set<std::string> ever_published_;
   std::set<std::string> ever_deleted_;
