@@ -120,6 +120,8 @@ struct MScaleWall {
   double wall_s = 0;
   double sim_s = 0;
   bool converged = false;
+  PhaseTimes phases;
+  EngineStats engine;
 };
 
 MScaleWall MScalabilityWall(int nodes, int pods) {
@@ -132,6 +134,8 @@ MScaleWall MScalabilityWall(int nodes, int pods) {
   wall.wall_s = SecondsSince(start);
   wall.sim_s = ToSeconds(result.e2e);
   wall.converged = result.converged;
+  wall.phases = result.phases;
+  wall.engine = result.engine;
   return wall;
 }
 
@@ -160,12 +164,16 @@ void WriteJson(const HotpathReport& r, const char* path) {
                "    \"nodes\": %d,\n"
                "    \"wall_s\": %.2f,\n"
                "    \"sim_s\": %.2f,\n"
-               "    \"converged\": %s\n"
+               "    \"converged\": %s,\n"
+               "    \"phases\": %s,\n"
+               "    \"engine\": %s\n"
                "  }\n"
                "}\n",
                r.sched_events_per_sec, r.cancel_ops_per_sec,
                r.fanout_deliveries_per_sec, r.m_nodes, r.m_scale.wall_s,
-               r.m_scale.sim_s, r.m_scale.converged ? "true" : "false");
+               r.m_scale.sim_s, r.m_scale.converged ? "true" : "false",
+               PhasesJson(r.m_scale.phases).c_str(),
+               EngineStatsJson(r.m_scale.engine).c_str());
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }

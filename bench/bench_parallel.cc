@@ -1,0 +1,205 @@
+// Parallel deterministic engine (DESIGN.md §9): the same large-M
+// upscale executed by the serial engine and by the per-lane parallel
+// engine, with the byte-identical-trace contract checked inline — an
+// FNV-1a fingerprint over the (time, seq) event stream must come out
+// equal for every variant, or the whole comparison is void.
+//
+// Numbers in BENCH_parallel.json:
+//   - wall-clock + setup/run/teardown phase split per variant. These
+//     are honest host numbers: on a single-core host the parallel wall
+//     is *expected* to be >= the serial wall (barrier + mailbox
+//     overhead with no extra cores to spend it on; see EXPERIMENTS.md,
+//     "host ceiling");
+//   - the engine counters: barrier epochs executed, mean conservative
+//     lookahead, worker threads actually used;
+//   - the algorithmic speedup the lane partition admits —
+//     processed_events / critical_path_events, where the critical path
+//     is the sum over epochs of the busiest group's event count. This
+//     is the host-core-independent headline: the wall-clock speedup a
+//     >=G-core host could realize if barrier costs were free.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace kd::bench {
+namespace {
+
+struct LaneRunResult {
+  double wall_s = 0;
+  double sim_s = 0;
+  bool converged = false;
+  std::uint64_t trace_fp = 0;      // FNV-1a over the (time, seq) stream
+  std::uint64_t trace_events = 0;  // events the hook observed
+  PhaseTimes phases;
+  EngineStats engine;
+};
+
+// One upscale of `pods` pods of one function on `nodes` nodes, with
+// the trace fingerprinted. lane_groups <= 1 runs the serial engine.
+LaneRunResult RunLaneUpscale(int nodes, int pods, int lane_groups,
+                             int lane_threads) {
+  LaneRunResult result;
+  PhaseClock clock;
+  {
+    sim::Engine engine;
+    std::uint64_t fp = 14695981039346656037ull;
+    std::uint64_t observed = 0;
+    engine.set_trace_hook(
+        [&fp, &observed](Time t, std::uint64_t seq, sim::EventId) {
+          auto mix = [&fp](std::uint64_t v) {
+            for (int i = 0; i < 8; ++i) {
+              fp ^= (v >> (8 * i)) & 0xff;
+              fp *= 1099511628211ull;
+            }
+          };
+          mix(static_cast<std::uint64_t>(t));
+          mix(seq);
+          ++observed;
+        });
+
+    cluster::ClusterConfig config = cluster::ClusterConfig::Kd(nodes);
+    config.realistic_pod_template = false;
+    config.lane_groups = lane_groups;
+    config.lane_threads = lane_threads;
+    cluster::Cluster cluster(engine, std::move(config));
+    cluster.Boot();
+    cluster.RegisterFunction("fn-0000");
+    engine.RunFor(Milliseconds(200));
+    result.phases.setup_s = clock.Lap();
+
+    const Time start = engine.now();
+    cluster.ScaleTo("fn-0000", pods);
+    const Duration tick =
+        pods >= 5000 ? Milliseconds(100) : Milliseconds(5);
+    result.converged = cluster.RunUntil(
+        [&] {
+          return cluster.TotalReadyPods() == static_cast<std::size_t>(pods);
+        },
+        Minutes(60), tick);
+    result.sim_s = ToSeconds(engine.now() - start);
+    result.phases.run_s = clock.Lap();
+
+    result.engine = CaptureEngineStats(engine);
+    result.trace_fp = fp;
+    result.trace_events = observed;
+  }
+  result.phases.teardown_s = clock.Lap();
+  result.wall_s =
+      result.phases.setup_s + result.phases.run_s + result.phases.teardown_s;
+  return result;
+}
+
+struct Variant {
+  const char* key;
+  int lane_groups;   // <=1 = serial
+  int lane_threads;  // 0 = one worker per group
+};
+
+constexpr Variant kVariants[] = {
+    {"serial", 1, 0},
+    {"parallel_g4", 4, 0},
+    {"parallel_g8", 8, 0},
+};
+
+void WriteJson(const char* path, int nodes, int pods,
+               const std::vector<std::pair<std::string, LaneRunResult>>& runs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const LaneRunResult& serial = runs.front().second;
+  std::fprintf(f,
+               "{\n"
+               "  \"comment\": \"Serial vs per-lane parallel engine on the "
+               "same M=%d upscale. Identical trace_fp across variants is the "
+               "byte-identical-trace contract; wall_s is the honest host "
+               "number (single-core hosts pay barrier overhead with no cores "
+               "to gain); algorithmic_speedup = processed / critical-path "
+               "events is the host-independent ceiling. Regenerate with: "
+               "build/bench/bench_parallel (writes ./BENCH_parallel.json).\",\n"
+               "  \"config\": {\"nodes\": %d, \"pods\": %d},\n"
+               "  \"runs\": {\n",
+               nodes, nodes, pods);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& [key, r] = runs[i];
+    std::fprintf(f,
+                 "    \"%s\": {\n"
+                 "      \"wall_s\": %.2f,\n"
+                 "      \"sim_s\": %.2f,\n"
+                 "      \"converged\": %s,\n"
+                 "      \"trace_events\": %llu,\n"
+                 "      \"trace_fp\": \"%016llx\",\n"
+                 "      \"trace_matches_serial\": %s,\n"
+                 "      \"phases\": %s,\n"
+                 "      \"engine\": %s\n"
+                 "    }%s\n",
+                 key.c_str(), r.wall_s, r.sim_s,
+                 r.converged ? "true" : "false",
+                 static_cast<unsigned long long>(r.trace_events),
+                 static_cast<unsigned long long>(r.trace_fp),
+                 r.trace_fp == serial.trace_fp ? "true" : "false",
+                 PhasesJson(r.phases).c_str(),
+                 EngineStatsJson(r.engine).c_str(),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"speedup\": {\n");
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const auto& [key, r] = runs[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"wall\": %.2f, \"algorithmic\": %.2f}%s\n",
+                 key.c_str(), r.wall_s > 0 ? serial.wall_s / r.wall_s : 0.0,
+                 r.engine.AlgorithmicSpeedup(),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+int RunParallelBench(bool smoke) {
+  const int nodes = smoke ? 40 : 8000;
+  const int pods = nodes;  // one pod per node
+
+  std::vector<std::pair<std::string, LaneRunResult>> runs;
+  for (const Variant& v : kVariants) {
+    runs.emplace_back(v.key,
+                      RunLaneUpscale(nodes, pods, v.lane_groups,
+                                     v.lane_threads));
+  }
+
+  const LaneRunResult& serial = runs.front().second;
+  PrintHeader(StrFormat("parallel engine: M=%d upscale, serial vs lanes",
+                        nodes),
+              {"variant", "wall", "epochs", "threads", "algo speedup",
+               "trace"});
+  bool all_match = true;
+  bool all_converged = true;
+  for (const auto& [key, r] : runs) {
+    const bool match = r.trace_fp == serial.trace_fp &&
+                       r.trace_events == serial.trace_events;
+    all_match = all_match && match;
+    all_converged = all_converged && r.converged;
+    PrintRow({key, StrFormat("%.2fs", r.wall_s),
+              StrFormat("%llu",
+                        static_cast<unsigned long long>(
+                            r.engine.epochs_executed)),
+              StrFormat("%d", r.engine.threads_used),
+              StrFormat("%.2fx", r.engine.AlgorithmicSpeedup()),
+              match ? "identical" : "DIVERGED"});
+  }
+
+  if (!smoke) WriteJson("BENCH_parallel.json", nodes, pods, runs);
+  return SmokeVerdict(all_match && all_converged,
+                      "parallel engine parity + counters");
+}
+
+}  // namespace
+}  // namespace kd::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = kd::bench::ConsumeSmokeFlag(argc, argv);
+  return kd::bench::RunParallelBench(smoke);
+}

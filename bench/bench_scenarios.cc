@@ -60,84 +60,93 @@ struct ScenarioResult {
   std::int64_t nodes_drained = 0;
   std::vector<ScenarioRunner::LogEntry> op_log;
   std::vector<SloGuard::Breach> breaches;
+  PhaseTimes phases;
+  EngineStats engine;
 
   double ColdP99() const { return cold_ms.empty() ? 0.0 : cold_ms.P99(); }
   bool LostNone() const { return completed == issued; }
 };
 
 ScenarioResult RunScenario(const ScenarioConfig& config) {
-  sim::Engine engine;
-  cluster::ClusterConfig cluster_config =
-      cluster::ClusterConfig::Kd(config.ondemand_nodes + config.spot_nodes);
-  cluster_config.cost.kd_direct_endpoint_publish = true;
-  cluster_config.node_pools = {{"ondemand", config.ondemand_nodes},
-                               {"spot", config.spot_nodes}};
-  // Upgrade-pause anti-flap: a freshly (re)started autoscaler holds
-  // scale-downs until its view has been steady for a while.
-  cluster_config.autoscaler.scale_down_hold = Seconds(10);
-  cluster::Cluster cluster(engine, std::move(cluster_config));
-  cluster.Boot();
-  faas::ClusterBackend backend(cluster);
-  faas::Platform platform(engine, backend, faas::PolicyParams::Knative());
-
-  std::vector<std::string> names;
-  for (int f = 0; f < config.functions; ++f) {
-    names.push_back(StrFormat("fn-%02d", f));
-    faas::FunctionSpec spec;
-    spec.name = names.back();
-    platform.RegisterFunction(spec);
-  }
-  platform.Start();
-  const Duration kSettle = Milliseconds(500);
-  engine.RunFor(kSettle);
-
-  const Schedule schedule =
-      ParseSchedule(config.schedule_text).value_or(Schedule{});
-
-  RunnerConfig runner_config;
-  runner_config.functions = names;
-  runner_config.horizon = config.length + Minutes(2);
-  runner_config.slo.check_no_lost = true;
-  runner_config.slo.endpoint_staleness = Seconds(30);
-  if (config.quiet_cold_p99_ms > 0 && config.accept_ratio > 0) {
-    runner_config.slo.quiet_cold_p99_ms = config.quiet_cold_p99_ms;
-    runner_config.slo.cold_p99_ratio = config.accept_ratio;
-  }
-  ScenarioRunner runner(cluster, schedule, runner_config, &platform);
-  runner.Start();
-
-  // Flash crowds shape load plan-side: arrivals are integrated from
-  // the schedule's crowd profile, phased per function so the fleet
-  // does not invoke in lockstep.
-  const Duration kReqDuration = Milliseconds(150);
   ScenarioResult result;
-  for (int f = 0; f < config.functions; ++f) {
-    const std::vector<Duration> plan = scenario::ArrivalPlan(
-        schedule, config.length, config.base_rps, f * Milliseconds(37));
-    result.issued += plan.size();
-    for (const Duration at : plan) {
-      const std::string name = names[static_cast<std::size_t>(f)];
-      engine.ScheduleAt(engine.now() + at, [&platform, name, kReqDuration] {
-        platform.Invoke(name, kReqDuration);
-      });
-    }
-  }
-  engine.RunFor(config.length + Minutes(2));  // clip + drain
+  PhaseClock clock;
+  {
+    sim::Engine engine;
+    cluster::ClusterConfig cluster_config =
+        cluster::ClusterConfig::Kd(config.ondemand_nodes + config.spot_nodes);
+    cluster_config.cost.kd_direct_endpoint_publish = true;
+    cluster_config.node_pools = {{"ondemand", config.ondemand_nodes},
+                                 {"spot", config.spot_nodes}};
+    // Upgrade-pause anti-flap: a freshly (re)started autoscaler holds
+    // scale-downs until its view has been steady for a while.
+    cluster_config.autoscaler.scale_down_hold = Seconds(10);
+    cluster::Cluster cluster(engine, std::move(cluster_config));
+    cluster.Boot();
+    faas::ClusterBackend backend(cluster);
+    faas::Platform platform(engine, backend, faas::PolicyParams::Knative());
 
-  for (const faas::RequestRecord& record : platform.gateway().records()) {
-    if (record.cold_start) {
-      result.cold_ms.Add(ToMillis(record.SchedulingLatency()));
-      if (record.arrival - kSettle >= Seconds(15)) {
-        result.late_cold_ms.Add(ToMillis(record.SchedulingLatency()));
+    std::vector<std::string> names;
+    for (int f = 0; f < config.functions; ++f) {
+      names.push_back(StrFormat("fn-%02d", f));
+      faas::FunctionSpec spec;
+      spec.name = names.back();
+      platform.RegisterFunction(spec);
+    }
+    platform.Start();
+    const Duration kSettle = Milliseconds(500);
+    engine.RunFor(kSettle);
+
+    const Schedule schedule =
+        ParseSchedule(config.schedule_text).value_or(Schedule{});
+
+    RunnerConfig runner_config;
+    runner_config.functions = names;
+    runner_config.horizon = config.length + Minutes(2);
+    runner_config.slo.check_no_lost = true;
+    runner_config.slo.endpoint_staleness = Seconds(30);
+    if (config.quiet_cold_p99_ms > 0 && config.accept_ratio > 0) {
+      runner_config.slo.quiet_cold_p99_ms = config.quiet_cold_p99_ms;
+      runner_config.slo.cold_p99_ratio = config.accept_ratio;
+    }
+    ScenarioRunner runner(cluster, schedule, runner_config, &platform);
+    runner.Start();
+    result.phases.setup_s = clock.Lap();
+
+    // Flash crowds shape load plan-side: arrivals are integrated from
+    // the schedule's crowd profile, phased per function so the fleet
+    // does not invoke in lockstep.
+    const Duration kReqDuration = Milliseconds(150);
+    for (int f = 0; f < config.functions; ++f) {
+      const std::vector<Duration> plan = scenario::ArrivalPlan(
+          schedule, config.length, config.base_rps, f * Milliseconds(37));
+      result.issued += plan.size();
+      for (const Duration at : plan) {
+        const std::string name = names[static_cast<std::size_t>(f)];
+        engine.ScheduleAt(engine.now() + at, [&platform, name, kReqDuration] {
+          platform.Invoke(name, kReqDuration);
+        });
       }
     }
+    engine.RunFor(config.length + Minutes(2));  // clip + drain
+    result.phases.run_s = clock.Lap();
+
+    for (const faas::RequestRecord& record : platform.gateway().records()) {
+      if (record.cold_start) {
+        result.cold_ms.Add(ToMillis(record.SchedulingLatency()));
+        if (record.arrival - kSettle >= Seconds(15)) {
+          result.late_cold_ms.Add(ToMillis(record.SchedulingLatency()));
+        }
+      }
+    }
+    result.completed = platform.gateway().records().size();
+    result.instances_failed = platform.gateway().instances_failed();
+    result.requeued = platform.gateway().requeued_on_failure();
+    result.nodes_drained = cluster.metrics().GetCount("nodes_draining");
+    result.op_log = runner.op_log();
+    result.breaches = runner.guard().breaches();
+    result.engine = CaptureEngineStats(engine);
   }
-  result.completed = platform.gateway().records().size();
-  result.instances_failed = platform.gateway().instances_failed();
-  result.requeued = platform.gateway().requeued_on_failure();
-  result.nodes_drained = cluster.metrics().GetCount("nodes_draining");
-  result.op_log = runner.op_log();
-  result.breaches = runner.guard().breaches();
+  result.phases.teardown_s = clock.Lap();
   return result;
 }
 
@@ -281,7 +290,9 @@ void WriteJson(const char* path) {
         "      \"requeued_on_failure\": %llu,\n"
         "      \"nodes_drained\": %lld,\n"
         "      \"slo_breaches\": %zu,\n"
-        "      \"accepted\": %s\n"
+        "      \"accepted\": %s,\n"
+        "      \"phases\": %s,\n"
+        "      \"engine\": %s\n"
         "    }%s\n",
         row.key.c_str(), (unsigned long long)row.result.issued,
         (unsigned long long)row.result.completed,
@@ -295,6 +306,8 @@ void WriteJson(const char* path) {
         (unsigned long long)row.result.requeued,
         (long long)row.result.nodes_drained, row.result.breaches.size(),
         Accepted(row) ? "true" : "false",
+        PhasesJson(row.result.phases).c_str(),
+        EngineStatsJson(row.result.engine).c_str(),
         i + 1 < Results().size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");

@@ -23,6 +23,7 @@
 // per-shard queue-depth/inflight maxima + keyspace balance).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -34,10 +35,20 @@
 namespace kd::bench {
 namespace {
 
+// BENCH_SHARD_NODES / BENCH_SHARD_FUNCTIONS override the full-run
+// scale (e.g. the M=32000 sweep recorded in EXPERIMENTS.md) without
+// touching the committed default shape of BENCH_shard.json.
+int EnvScale(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const int n = std::atoi(env);
+  return n > 0 ? n : fallback;
+}
+
 struct ShardBenchConfig {
   controllers::Mode mode = controllers::Mode::kKd;
-  int num_nodes = 16000;
-  int num_functions = 10000;
+  int num_nodes = EnvScale("BENCH_SHARD_NODES", 16000);
+  int num_functions = EnvScale("BENCH_SHARD_FUNCTIONS", 10000);
   int num_shards = 16;
   int apf_seats = 64;  // per-shard concurrency seats (APF on)
   // First invocations are spread uniformly over this window; each
@@ -61,73 +72,83 @@ struct ShardBenchResult {
   double sim_s = 0;
   std::vector<ShardStats> shards;
   bool converged = false;  // every issued request completed
+  PhaseTimes phases;
+  EngineStats engine;
 };
 
 ShardBenchResult RunShardBench(const ShardBenchConfig& config) {
-  sim::Engine engine;
-  cluster::ClusterConfig cluster_config;
-  cluster_config.mode = config.mode;
-  cluster_config.num_nodes = config.num_nodes;
-  cluster_config.num_shards = config.num_shards;
-  cluster_config.cost.apf_seats = config.apf_seats;
-  // Minimal pod template: K pods x several caches at M=16000 — the
-  // load under test is API traffic volume, not wire size.
-  cluster_config.realistic_pod_template = false;
-  cluster::Cluster cluster(engine, std::move(cluster_config));
-  cluster.Boot();
-  faas::ClusterBackend backend(cluster);
-  faas::Platform platform(engine, backend, faas::PolicyParams::Knative());
-
-  for (int f = 0; f < config.num_functions; ++f) {
-    faas::FunctionSpec spec;
-    spec.name = StrFormat("fn-%05d", f);
-    platform.RegisterFunction(spec);
-  }
-  platform.Start();
-  const Duration kSettle = Milliseconds(500);
-  engine.RunFor(kSettle);
-
-  const Duration kReqDuration = Milliseconds(100);
   ShardBenchResult result;
-  result.issued = static_cast<std::uint64_t>(config.num_functions);
-  for (int f = 0; f < config.num_functions; ++f) {
-    const Duration at =
-        kSettle + (config.arrival_window * f) / config.num_functions;
-    const std::string name = StrFormat("fn-%05d", f);
-    engine.ScheduleAt(at, [&platform, name, kReqDuration] {
-      platform.Invoke(name, kReqDuration);
-    });
-  }
+  PhaseClock clock;
+  {
+    sim::Engine engine;
+    cluster::ClusterConfig cluster_config;
+    cluster_config.mode = config.mode;
+    cluster_config.num_nodes = config.num_nodes;
+    cluster_config.num_shards = config.num_shards;
+    cluster_config.cost.apf_seats = config.apf_seats;
+    // Minimal pod template: K pods x several caches at M=16000 — the
+    // load under test is API traffic volume, not wire size.
+    cluster_config.realistic_pod_template = false;
+    cluster::Cluster cluster(engine, std::move(cluster_config));
+    cluster.Boot();
+    faas::ClusterBackend backend(cluster);
+    faas::Platform platform(engine, backend, faas::PolicyParams::Knative());
 
-  // Run to convergence (every request completed) or the deadline.
-  const Duration kChunk = Seconds(5);
-  for (Duration ran = 0;
-       ran < config.deadline &&
-       platform.gateway().records().size() < result.issued;
-       ran += kChunk) {
-    engine.RunFor(kChunk);
-  }
-
-  for (const faas::RequestRecord& r : platform.gateway().records()) {
-    result.completed++;
-    if (r.cold_start) {
-      result.cold_ms.Add(static_cast<double>(r.SchedulingLatency()) /
-                         static_cast<double>(Milliseconds(1)));
+    for (int f = 0; f < config.num_functions; ++f) {
+      faas::FunctionSpec spec;
+      spec.name = StrFormat("fn-%05d", f);
+      platform.RegisterFunction(spec);
     }
-  }
-  result.converged = result.completed == result.issued;
-  result.sim_s = ToSeconds(engine.now());
+    platform.Start();
+    const Duration kSettle = Milliseconds(500);
+    engine.RunFor(kSettle);
+    result.phases.setup_s = clock.Lap();
 
-  apiserver::ControlPlane& plane = cluster.apiserver();
-  for (int s = 0; s < plane.num_shards(); ++s) {
-    MetricsRecorder& m = plane.shard(s).metrics();
-    ShardStats stats;
-    stats.objects = static_cast<std::int64_t>(plane.shard(s).object_count());
-    stats.inflight_max = m.GetCount("api.inflight_max");
-    stats.apf_queue_depth_max = m.GetCount("apf.queue_depth_max");
-    stats.watch_events = m.GetCount("watch_events");
-    result.shards.push_back(stats);
+    const Duration kReqDuration = Milliseconds(100);
+    result.issued = static_cast<std::uint64_t>(config.num_functions);
+    for (int f = 0; f < config.num_functions; ++f) {
+      const Duration at =
+          kSettle + (config.arrival_window * f) / config.num_functions;
+      const std::string name = StrFormat("fn-%05d", f);
+      engine.ScheduleAt(at, [&platform, name, kReqDuration] {
+        platform.Invoke(name, kReqDuration);
+      });
+    }
+
+    // Run to convergence (every request completed) or the deadline.
+    const Duration kChunk = Seconds(5);
+    for (Duration ran = 0;
+         ran < config.deadline &&
+         platform.gateway().records().size() < result.issued;
+         ran += kChunk) {
+      engine.RunFor(kChunk);
+    }
+    result.phases.run_s = clock.Lap();
+
+    for (const faas::RequestRecord& r : platform.gateway().records()) {
+      result.completed++;
+      if (r.cold_start) {
+        result.cold_ms.Add(static_cast<double>(r.SchedulingLatency()) /
+                           static_cast<double>(Milliseconds(1)));
+      }
+    }
+    result.converged = result.completed == result.issued;
+    result.sim_s = ToSeconds(engine.now());
+
+    apiserver::ControlPlane& plane = cluster.apiserver();
+    for (int s = 0; s < plane.num_shards(); ++s) {
+      MetricsRecorder& m = plane.shard(s).metrics();
+      ShardStats stats;
+      stats.objects = static_cast<std::int64_t>(plane.shard(s).object_count());
+      stats.inflight_max = m.GetCount("api.inflight_max");
+      stats.apf_queue_depth_max = m.GetCount("apf.queue_depth_max");
+      stats.watch_events = m.GetCount("watch_events");
+      result.shards.push_back(stats);
+    }
+    result.engine = CaptureEngineStats(engine);
   }
+  // Scrape + destruction (K x M informer caches) land in teardown.
+  result.phases.teardown_s = clock.Lap();
   return result;
 }
 
@@ -197,12 +218,16 @@ void WriteJson(const char* path) {
                  "      \"cold_p50_ms\": %.1f,\n"
                  "      \"cold_p99_ms\": %.1f,\n"
                  "      \"sim_s\": %.1f,\n"
+                 "      \"phases\": %s,\n"
+                 "      \"engine\": %s,\n"
                  "      \"per_shard\": [\n",
                  name.c_str(), (unsigned long long)r.issued,
                  (unsigned long long)r.completed,
                  r.converged ? "true" : "false", r.cold_ms.count(),
                  r.cold_ms.empty() ? 0.0 : r.cold_ms.Median(),
-                 r.cold_ms.empty() ? 0.0 : r.cold_ms.P99(), r.sim_s);
+                 r.cold_ms.empty() ? 0.0 : r.cold_ms.P99(), r.sim_s,
+                 PhasesJson(r.phases).c_str(),
+                 EngineStatsJson(r.engine).c_str());
     for (std::size_t s = 0; s < r.shards.size(); ++s) {
       const ShardStats& stats = r.shards[s];
       std::fprintf(f,

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -19,6 +21,87 @@
 #include "summary.h"
 
 namespace kd::bench {
+
+// --- phase timing + engine counters -------------------------------------
+// Host wall-clock phase split (setup = construct+boot+register, run =
+// the measured experiment, teardown = scrape + destruction) plus the
+// parallel-engine counters, recorded into every BENCH_*.json so perf
+// regressions are attributable to a phase, not just a total. bench/ is
+// outside the kdlint sweep scope (src/ only): steady_clock here times
+// the host, never the simulation.
+struct PhaseTimes {
+  double setup_s = 0;
+  double run_s = 0;
+  double teardown_s = 0;
+};
+
+class PhaseClock {
+ public:
+  PhaseClock() : last_(std::chrono::steady_clock::now()) {}
+  // Seconds since construction or the previous Lap().
+  double Lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
+
+// The engine's parallel-execution counters (zeros on a serial run):
+// worker threads actually used, barrier epochs executed, the mean
+// conservative lookahead per epoch, and the algorithmic-speedup
+// ceiling the lane partition admits — processed / critical-path events
+// — which is host-core independent (the honest headline on 1-core
+// hosts; see EXPERIMENTS.md).
+struct EngineStats {
+  int threads_used = 1;
+  int lane_groups = 0;  // 0 = serial engine
+  std::uint64_t epochs_executed = 0;
+  double mean_lookahead_us = 0;
+  std::uint64_t processed_events = 0;
+  std::uint64_t critical_path_events = 0;
+  double AlgorithmicSpeedup() const {
+    return critical_path_events == 0
+               ? 1.0
+               : static_cast<double>(processed_events) /
+                     static_cast<double>(critical_path_events);
+  }
+};
+
+inline EngineStats CaptureEngineStats(const sim::Engine& engine) {
+  EngineStats s;
+  s.threads_used = engine.threads_used();
+  s.lane_groups = engine.parallel() ? engine.num_groups() : 0;
+  s.epochs_executed = engine.epochs_executed();
+  s.mean_lookahead_us =
+      engine.mean_lookahead() / static_cast<double>(Microseconds(1));
+  s.processed_events = engine.processed_events();
+  s.critical_path_events = engine.critical_path_events();
+  return s;
+}
+
+// JSON object fragments shared by every bench writer (no trailing
+// comma or newline — callers embed them as `"phases": %s`).
+inline std::string PhasesJson(const PhaseTimes& t) {
+  return StrFormat("{\"setup_s\": %.3f, \"run_s\": %.3f, \"teardown_s\": %.3f}",
+                   t.setup_s, t.run_s, t.teardown_s);
+}
+
+inline std::string EngineStatsJson(const EngineStats& s) {
+  return StrFormat(
+      "{\"threads_used\": %d, \"lane_groups\": %d, "
+      "\"epochs_executed\": %llu, \"mean_lookahead_us\": %.1f, "
+      "\"processed_events\": %llu, \"critical_path_events\": %llu, "
+      "\"algorithmic_speedup\": %.2f}",
+      s.threads_used, s.lane_groups,
+      static_cast<unsigned long long>(s.epochs_executed), s.mean_lookahead_us,
+      static_cast<unsigned long long>(s.processed_events),
+      static_cast<unsigned long long>(s.critical_path_events),
+      s.AlgorithmicSpeedup());
+}
 
 // --- smoke mode ---------------------------------------------------------
 // Every bench binary accepts --smoke: a tiny-N/K/M configuration that
@@ -57,91 +140,114 @@ struct UpscaleResult {
   Duration scheduler = 0;
   Duration sandbox = 0;  // kubelet span
   bool converged = false;
+  PhaseTimes phases;    // host wall-clock per phase
+  EngineStats engine;   // parallel-engine counters (zeros when serial)
 };
 
 inline UpscaleResult RunUpscale(cluster::ClusterConfig config, int functions,
                                 int total_pods,
                                 Duration deadline = Minutes(30)) {
-  sim::Engine engine;
-  cluster::Cluster cluster(engine, std::move(config));
-  cluster.Boot();
-  for (int f = 0; f < functions; ++f) {
-    cluster.RegisterFunction(StrFormat("fn-%04d", f));
-  }
-  engine.RunFor(Milliseconds(200));  // informers observe registrations
-  cluster.metrics().Clear();
-
-  const Time start = engine.now();
-  const int per_function = total_pods / functions;
-  for (int f = 0; f < functions; ++f) {
-    cluster.ScaleTo(StrFormat("fn-%04d", f), per_function);
-  }
   UpscaleResult result;
-  // Coarser predicate polling for very large runs (the poll itself
-  // walks the API-server store).
-  const Duration tick = total_pods >= 5000 ? Milliseconds(100)
-                                           : Milliseconds(5);
-  result.converged = cluster.RunUntil(
-      [&] {
-        return cluster.TotalReadyPods() ==
-               static_cast<std::size_t>(per_function * functions);
-      },
-      deadline, tick);
-  result.e2e = engine.now() - start;
-  // Isolated per-stage time (what the stage would take with
-  // instantaneous upstream messages, Fig. 3 methodology): the max of
-  // the controller's API-client active time (rate limiter + in-flight
-  // requests) and its control-loop active time.
-  auto stage = [&](const char* loop, const char* client) {
-    return std::max(cluster.metrics().GetBusy(std::string(loop) + ".active"),
-                    cluster.metrics().GetBusy(std::string(client) +
-                                              ".active"));
-  };
-  result.autoscaler = stage("autoscaler", "autoscaler");
-  result.deployment = stage("deployment", "deployment-controller");
-  result.replicaset = stage("replicaset", "replicaset-controller");
-  result.scheduler = stage("scheduler", "scheduler");
-  // Sandbox manager: worst per-pod latency (bind -> published), which
-  // captures per-node queueing but not upstream lag.
-  result.sandbox =
-      MillisecondsF(cluster.metrics().GetSample("kubelet_pod_latency").Max());
+  PhaseClock clock;
+  {
+    sim::Engine engine;
+    cluster::Cluster cluster(engine, std::move(config));
+    cluster.Boot();
+    for (int f = 0; f < functions; ++f) {
+      cluster.RegisterFunction(StrFormat("fn-%04d", f));
+    }
+    engine.RunFor(Milliseconds(200));  // informers observe registrations
+    cluster.metrics().Clear();
+    result.phases.setup_s = clock.Lap();
+
+    const Time start = engine.now();
+    const int per_function = total_pods / functions;
+    for (int f = 0; f < functions; ++f) {
+      cluster.ScaleTo(StrFormat("fn-%04d", f), per_function);
+    }
+    // Coarser predicate polling for very large runs (the poll itself
+    // walks the API-server store).
+    const Duration tick = total_pods >= 5000 ? Milliseconds(100)
+                                             : Milliseconds(5);
+    result.converged = cluster.RunUntil(
+        [&] {
+          return cluster.TotalReadyPods() ==
+                 static_cast<std::size_t>(per_function * functions);
+        },
+        deadline, tick);
+    result.e2e = engine.now() - start;
+    result.phases.run_s = clock.Lap();
+    // Isolated per-stage time (what the stage would take with
+    // instantaneous upstream messages, Fig. 3 methodology): the max of
+    // the controller's API-client active time (rate limiter + in-flight
+    // requests) and its control-loop active time.
+    auto stage = [&](const char* loop, const char* client) {
+      return std::max(cluster.metrics().GetBusy(std::string(loop) + ".active"),
+                      cluster.metrics().GetBusy(std::string(client) +
+                                                ".active"));
+    };
+    result.autoscaler = stage("autoscaler", "autoscaler");
+    result.deployment = stage("deployment", "deployment-controller");
+    result.replicaset = stage("replicaset", "replicaset-controller");
+    result.scheduler = stage("scheduler", "scheduler");
+    // Sandbox manager: worst per-pod latency (bind -> published), which
+    // captures per-node queueing but not upstream lag.
+    result.sandbox =
+        MillisecondsF(cluster.metrics().GetSample("kubelet_pod_latency").Max());
+    result.engine = CaptureEngineStats(engine);
+  }
+  result.phases.teardown_s = clock.Lap();  // cluster + engine destruction
   return result;
 }
 
 // Downscale counterpart: scale K functions from `from` to `to` pods
 // each; latency until the API server view drains to the target.
+// `phases`/`stats`, when non-null, receive the host phase split (setup
+// = boot + the upscale leg, run = the measured downscale) and the
+// engine counters of the run.
 inline Duration RunDownscale(cluster::ClusterConfig config, int functions,
                              int pods_from, int pods_to,
-                             Duration deadline = Minutes(30)) {
-  sim::Engine engine;
-  cluster::Cluster cluster(engine, std::move(config));
-  cluster.Boot();
-  for (int f = 0; f < functions; ++f) {
-    cluster.RegisterFunction(StrFormat("fn-%04d", f));
+                             Duration deadline = Minutes(30),
+                             PhaseTimes* phases = nullptr,
+                             EngineStats* stats = nullptr) {
+  PhaseClock clock;
+  Duration latency = -1;
+  {
+    sim::Engine engine;
+    cluster::Cluster cluster(engine, std::move(config));
+    cluster.Boot();
+    for (int f = 0; f < functions; ++f) {
+      cluster.RegisterFunction(StrFormat("fn-%04d", f));
+    }
+    engine.RunFor(Milliseconds(200));
+    for (int f = 0; f < functions; ++f) {
+      cluster.ScaleTo(StrFormat("fn-%04d", f), pods_from);
+    }
+    const bool up = cluster.RunUntil(
+        [&] {
+          return cluster.TotalReadyPods() ==
+                 static_cast<std::size_t>(pods_from * functions);
+        },
+        deadline);
+    if (phases != nullptr) phases->setup_s = clock.Lap();
+    if (up) {
+      const Time start = engine.now();
+      for (int f = 0; f < functions; ++f) {
+        cluster.ScaleTo(StrFormat("fn-%04d", f), pods_to);
+      }
+      const bool down = cluster.RunUntil(
+          [&] {
+            return cluster.TotalReadyPods() ==
+                   static_cast<std::size_t>(pods_to * functions);
+          },
+          deadline);
+      if (down) latency = engine.now() - start;
+    }
+    if (phases != nullptr) phases->run_s = clock.Lap();
+    if (stats != nullptr) *stats = CaptureEngineStats(engine);
   }
-  engine.RunFor(Milliseconds(200));
-  for (int f = 0; f < functions; ++f) {
-    cluster.ScaleTo(StrFormat("fn-%04d", f), pods_from);
-  }
-  const bool up = cluster.RunUntil(
-      [&] {
-        return cluster.TotalReadyPods() ==
-               static_cast<std::size_t>(pods_from * functions);
-      },
-      deadline);
-  if (!up) return -1;
-
-  const Time start = engine.now();
-  for (int f = 0; f < functions; ++f) {
-    cluster.ScaleTo(StrFormat("fn-%04d", f), pods_to);
-  }
-  const bool down = cluster.RunUntil(
-      [&] {
-        return cluster.TotalReadyPods() ==
-               static_cast<std::size_t>(pods_to * functions);
-      },
-      deadline);
-  return down ? engine.now() - start : -1;
+  if (phases != nullptr) phases->teardown_s = clock.Lap();
+  return latency;
 }
 
 // Table printing lives in summary.h (shared with the e2e and scenario

@@ -69,12 +69,16 @@ void ApiServer::Broadcast(WatchEventType type, const model::ApiObject& obj) {
     WatchCallback cb = watcher.cb;
     WatchEvent event{type, obj};
     const std::uint64_t epoch = epoch_;
-    engine_.ScheduleAfter(delay, [this, epoch, cb = std::move(cb),
-                                  event = std::move(event)]() mutable {
-      // Deliveries in flight at crash time die with the stream.
-      if (epoch != epoch_) return;
-      cb(event);
-    });
+    // Sanctioned seam: the delivery runs in the subscriber's lane
+    // (group). delay >= watch_delivery_latency >= the conservative
+    // lookahead, so the cross-group schedule is always legal.
+    engine_.ScheduleSeamAfter(
+        watcher.lane, delay,
+        [this, epoch, cb = std::move(cb), event = std::move(event)]() mutable {
+          // Deliveries in flight at crash time die with the stream.
+          if (epoch != epoch_) return;
+          cb(event);
+        });
     metrics_.Count("watch_events");
   }
 }
@@ -83,16 +87,21 @@ void ApiServer::Serve(const std::string& flow, std::size_t request_bytes,
                       std::size_t response_bytes, bool is_write,
                       std::function<CommitResult()> commit,
                       std::function<void(CommitResult)> respond) {
+  // The lane of the context that dispatched the request (the client's
+  // component). The response — and the dead-server deadline expiry —
+  // travel back there; both delays are >= api_network_latency >= the
+  // conservative lookahead.
+  const LaneId reply_lane = engine_.seam_origin_lane();
   if (!up_) {
     // Dead server: the request neither queues nor commits — it hangs
     // until the client-side per-attempt deadline expires.
     metrics_.Count("api_deadline_exceeded");
-    engine_.ScheduleAfter(cost_.api_request_deadline,
-                          [respond = std::move(respond)]() mutable {
-                            respond({DeadlineExceededError(
-                                         "API server unavailable"),
-                                     {}});
-                          });
+    engine_.ScheduleSeamAfter(reply_lane, cost_.api_request_deadline,
+                              [respond = std::move(respond)]() mutable {
+                                respond({DeadlineExceededError(
+                                             "API server unavailable"),
+                                         {}});
+                              });
     return;
   }
   metrics_.Count(is_write ? "api_writes" : "api_reads");
@@ -106,11 +115,18 @@ void ApiServer::Serve(const std::string& flow, std::size_t request_bytes,
   auto respond_shared = std::make_shared<RespondFn>(std::move(respond));
   const std::uint64_t id = next_request_id_++;
   const std::uint64_t epoch = epoch_;
-  pending_.emplace(id, respond_shared);
-  metrics_.RecordMax("api.inflight_max",
-                     static_cast<std::int64_t>(pending_.size()));
+  std::size_t inflight;
+  {
+    sim::SeamLockGuard lock(pending_mu_);
+    pending_.emplace(id, respond_shared);
+    inflight = pending_.size();
+  }
+  // NOTE: under parallel execution the observed maximum depends on how
+  // epochs interleave request arrivals with response departures in
+  // other groups, so this one metric may vary across thread counts.
+  metrics_.RecordMax("api.inflight_max", static_cast<std::int64_t>(inflight));
 
-  auto finish = [this, id, epoch, arrival, response_bytes,
+  auto finish = [this, id, epoch, arrival, response_bytes, reply_lane,
                  respond_shared](CommitResult result, Time commit_done) {
     const Duration response_ser = static_cast<Duration>(
         static_cast<double>(response_bytes) * cost_.serialize_ns_per_byte);
@@ -118,15 +134,18 @@ void ApiServer::Serve(const std::string& flow, std::size_t request_bytes,
         commit_done + response_ser + cost_.api_network_latency;
     metrics_.Count("api_bytes_out",
                    static_cast<std::int64_t>(response_bytes));
-    engine_.ScheduleAt(respond_at,
-                       [this, id, epoch, arrival, respond_shared,
-                        result = std::move(result)]() mutable {
-                         if (epoch != epoch_) return;
-                         pending_.erase(id);
-                         metrics_.RecordDuration("api_call_latency",
-                                                 engine_.now() - arrival);
-                         (*respond_shared)(std::move(result));
-                       });
+    engine_.ScheduleSeamAt(reply_lane, respond_at,
+                           [this, id, epoch, arrival, respond_shared,
+                            result = std::move(result)]() mutable {
+                             if (epoch != epoch_) return;
+                             {
+                               sim::SeamLockGuard lock(pending_mu_);
+                               pending_.erase(id);
+                             }
+                             metrics_.RecordDuration("api_call_latency",
+                                                     engine_.now() - arrival);
+                             (*respond_shared)(std::move(result));
+                           });
   };
 
   // Admission, then the worker pool. With APF disabled `Submit` runs
@@ -175,14 +194,18 @@ void ApiServer::Crash() {
   metrics_.Count("apiserver.crashes");
   // Every in-flight request fails fast — the TCP connections reset, so
   // clients learn after one network latency, not a full deadline.
-  for (auto& [id, respond] : pending_) {
-    (void)id;
-    engine_.ScheduleAfter(
-        cost_.api_network_latency, [respond]() {
-          (*respond)({UnavailableError("API server crashed"), {}});
-        });
+  // Crash() is fault-path and runs serially; the lock is uniformity.
+  {
+    sim::SeamLockGuard lock(pending_mu_);
+    for (auto& [id, respond] : pending_) {
+      (void)id;
+      engine_.ScheduleAfter(
+          cost_.api_network_latency, [respond]() {
+            (*respond)({UnavailableError("API server crashed"), {}});
+          });
+    }
+    pending_.clear();
   }
-  pending_.clear();
   // Queued-but-unadmitted requests die with the process (their
   // responses were failed above via pending_); every APF seat frees.
   apf_.Reset();
@@ -386,16 +409,17 @@ void ApiServer::HandleListAt(
 }
 
 WatchId ApiServer::Watch(const std::string& kind, WatchCallback cb) {
-  return Watch(kind, nullptr, std::move(cb), nullptr);
+  return Watch(kind, nullptr, std::move(cb), nullptr, kNoLane);
 }
 
 WatchId ApiServer::Watch(const std::string& kind,
                          std::function<bool(const model::ApiObject&)> filter,
-                         WatchCallback cb, WatchBreakCallback on_break) {
+                         WatchCallback cb, WatchBreakCallback on_break,
+                         LaneId lane) {
   if (!up_) return 0;  // nothing to connect to; caller retries
   const WatchId id = next_watch_id_++;
-  watchers_[id] =
-      Watcher{kind, std::move(filter), std::move(cb), std::move(on_break)};
+  watchers_[id] = Watcher{kind, std::move(filter), std::move(cb),
+                          std::move(on_break), lane};
   return id;
 }
 

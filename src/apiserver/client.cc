@@ -53,15 +53,19 @@ Duration ApiClient::BackoffDelay(int attempt) {
   return delay < 0 ? 0 : delay;
 }
 
-void ApiClient::Dispatch(std::size_t request_bytes,
+void ApiClient::Dispatch(ApiServer* target, std::size_t request_bytes,
                          std::function<void()> send) {
-  limiter_.Acquire([this, request_bytes, send = std::move(send)]() mutable {
+  limiter_.Acquire([this, target, request_bytes,
+                    send = std::move(send)]() mutable {
     ++calls_issued_;
     const CostModel& cost = shards_.front()->cost();
     const Duration client_ser = static_cast<Duration>(
         static_cast<double>(request_bytes) * cost.serialize_ns_per_byte);
-    engine_.ScheduleAfter(client_ser + cost.api_network_latency,
-                          std::move(send));
+    // Uplink seam: the handler runs in the server's lane group. The
+    // delay is >= api_network_latency >= the conservative lookahead.
+    engine_.ScheduleSeamAfter(target->lane(),
+                              client_ser + cost.api_network_latency,
+                              std::move(send));
   });
 }
 
@@ -80,7 +84,7 @@ void ApiClient::Create(model::ApiObject obj,
   std::function<void(std::function<void(StatusOr<model::ApiObject>)>)>
       issue = [this, target, bytes, obj = std::move(obj)](
                   std::function<void(StatusOr<model::ApiObject>)> cb) {
-        Dispatch(bytes, [this, target, obj, cb = std::move(cb)]() mutable {
+        Dispatch(target, bytes, [this, target, obj, cb = std::move(cb)]() mutable {
           target->HandleCreate(name_, obj, std::move(cb));
         });
       };
@@ -101,7 +105,7 @@ void ApiClient::Update(model::ApiObject obj,
   std::function<void(std::function<void(StatusOr<model::ApiObject>)>)>
       issue = [this, target, bytes, obj = std::move(obj)](
                   std::function<void(StatusOr<model::ApiObject>)> cb) {
-        Dispatch(bytes, [this, target, obj, cb = std::move(cb)]() mutable {
+        Dispatch(target, bytes, [this, target, obj, cb = std::move(cb)]() mutable {
           target->HandleUpdate(name_, obj, std::move(cb));
         });
       };
@@ -119,7 +123,7 @@ void ApiClient::Delete(const std::string& kind, const std::string& name,
   ApiServer* target = &ShardForKey(model::ApiObject::MakeKey(kind, name));
   std::function<void(std::function<void(Status)>)> issue =
       [this, target, kind, name](std::function<void(Status)> cb) {
-        Dispatch(kind.size() + name.size() + 64,
+        Dispatch(target, kind.size() + name.size() + 64,
                  [this, target, kind, name, cb = std::move(cb)]() mutable {
                    target->HandleDelete(name_, kind, name, std::move(cb));
                  });
@@ -133,7 +137,7 @@ void ApiClient::Get(const std::string& kind, const std::string& name,
   std::function<void(std::function<void(StatusOr<model::ApiObject>)>)>
       issue = [this, target, kind, name](
                   std::function<void(StatusOr<model::ApiObject>)> cb) {
-        Dispatch(kind.size() + name.size() + 64,
+        Dispatch(target, kind.size() + name.size() + 64,
                  [this, target, kind, name, cb = std::move(cb)]() mutable {
                    target->HandleGet(name_, kind, name, std::move(cb));
                  });
@@ -178,7 +182,7 @@ void ApiClient::ListShardAt(
   ApiServer* target = shards_[static_cast<std::size_t>(shard)];
   std::function<void(std::function<void(ListResult)>)> issue =
       [this, target, kind](std::function<void(ListResult)> cb) {
-        Dispatch(kind.size() + 64,
+        Dispatch(target, kind.size() + 64,
                  [this, target, kind, cb = std::move(cb)]() mutable {
                    target->HandleListAt(
                        name_, kind,
@@ -228,7 +232,7 @@ void ApiClient::ListAt(
             std::make_shared<std::function<void(ListResult)>>(std::move(cb));
         for (int s = 0; s < num; ++s) {
           ApiServer* target = shards_[static_cast<std::size_t>(s)];
-          Dispatch(kind.size() + 64, [this, target, kind, s, fan,
+          Dispatch(target, kind.size() + 64, [this, target, kind, s, fan,
                                       cb_shared]() mutable {
             target->HandleListAt(
                 name_, kind,

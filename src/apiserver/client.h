@@ -126,8 +126,12 @@ class KD_LANE_SEAM ApiClient {
 
  private:
   // Applies rate limit + client serialization + uplink latency, then
-  // runs `send` (which must invoke an ApiServer handler).
-  void Dispatch(std::size_t request_bytes, std::function<void()> send);
+  // runs `send` (which must invoke a handler of `target`). The uplink
+  // is a sanctioned seam: `send` executes in the target server's lane
+  // group, so every Handle*/commit touches server state from exactly
+  // one group.
+  void Dispatch(ApiServer* target, std::size_t request_bytes,
+                std::function<void()> send);
 
   static StatusCode ResultCode(const Status& s) { return s.code(); }
   template <typename T>

@@ -45,23 +45,30 @@ class Connection : public std::enable_shared_from_this<Connection> {
     if (deliver_at < to.next_delivery_time) deliver_at = to.next_delivery_time;
     to.next_delivery_time = deliver_at;
 
+    // Sanctioned seam: delivery executes in the receiving endpoint's
+    // lane (and, in parallel mode, its lane group). wire >= latency >=
+    // the engine's conservative lookahead, so the cross-group schedule
+    // is always legal. The receiver lane is resolved at send time; the
+    // LaneScope below re-resolves at delivery for the checker, which
+    // yields the same lane for any registered endpoint (same address
+    // <=> same lane name).
+    Endpoint* to_ep = network_.Find(to.address);
+    const LaneId to_lane = to_ep != nullptr ? to_ep->lane() : kNoLane;
     auto weak = weak_from_this();
     const int to_side = 1 - from_side;
-    engine.ScheduleAt(deliver_at,
-                      [weak, to_side, payload = std::move(payload)]() mutable {
-                        auto conn = weak.lock();
-                        if (!conn || !conn->open_) return;  // dropped in flight
-                        Side& side = conn->sides_[to_side];
-                        if (side.closed_seen) return;
-                        // Sanctioned seam: the receiver's handler runs
-                        // in the receiving endpoint's lane.
-                        Network& net = conn->network_;
-                        Endpoint* ep = net.Find(side.address);
-                        sim::LaneScope lane_scope(
-                            net.engine().lane_checker(),
-                            ep != nullptr ? ep->lane() : kNoLane);
-                        if (side.on_message) side.on_message(std::move(payload));
-                      });
+    engine.ScheduleSeamAt(
+        to_lane, deliver_at,
+        [weak, to_side, payload = std::move(payload)]() mutable {
+          auto conn = weak.lock();
+          if (!conn || !conn->open_) return;  // dropped in flight
+          Side& side = conn->sides_[to_side];
+          if (side.closed_seen) return;
+          Network& net = conn->network_;
+          Endpoint* ep = net.Find(side.address);
+          sim::LaneScope lane_scope(net.engine().lane_checker(),
+                                    ep != nullptr ? ep->lane() : kNoLane);
+          if (side.on_message) side.on_message(std::move(payload));
+        });
     return OkStatus();
   }
 
@@ -101,8 +108,14 @@ class Connection : public std::enable_shared_from_this<Connection> {
       sides_[side].closed_seen = true;  // silent: crashed process
       return;
     }
+    // Seam to the notified side's lane. Cross-group closes only occur
+    // on the fault path (partitions, crashes — serial mode) or with
+    // the peer's detect/FIN delay, both >= the lookahead; an active
+    // local close (delay 0) targets the closer's own lane.
+    Endpoint* side_ep = network_.Find(sides_[side].address);
+    const LaneId side_lane = side_ep != nullptr ? side_ep->lane() : kNoLane;
     auto weak = weak_from_this();
-    network_.engine().ScheduleAfter(delay, [weak, side] {
+    network_.engine().ScheduleSeamAfter(side_lane, delay, [weak, side] {
       auto conn = weak.lock();
       if (!conn) return;
       Side& s = conn->sides_[side];
@@ -185,6 +198,7 @@ void Network::Partition(const std::string& a, const std::string& b) {
   partitions_.insert(NormalizedPair(a, b));
   // Existing connections between the pair die; both sides detect the
   // loss after the keepalive timeout.
+  sim::SeamLockGuard lock(connections_mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     auto conn = it->lock();
     if (!conn) {
@@ -212,6 +226,7 @@ std::uint64_t Network::crash_epoch(const std::string& address) const {
 
 void Network::CrashEndpoint(const std::string& address) {
   ++crash_epochs_[address];
+  sim::SeamLockGuard lock(connections_mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     auto conn = it->lock();
     if (!conn) {
@@ -260,15 +275,22 @@ void Endpoint::Connect(const std::string& to,
   // half-open connection to a dead process.
   const std::uint64_t from_epoch = net.crash_epoch(from);
   const std::uint64_t to_epoch = net.crash_epoch(to);
-  net.engine_.ScheduleAfter(net.config_.latency, [&net, from, to, from_epoch,
-                                                  to_epoch,
-                                                  done = std::move(done)]() {
+  // The SYN lands in the target's lane (group). An unregistered target
+  // resolves to kNoLane -> group 0; the closure re-checks liveness.
+  Endpoint* syn_target = net.Find(to);
+  const LaneId syn_lane = syn_target != nullptr ? syn_target->lane() : kNoLane;
+  net.engine_.ScheduleSeamAfter(syn_lane, net.config_.latency,
+                                [&net, from, to, from_epoch, to_epoch,
+                                 done = std::move(done)]() {
     if (net.crash_epoch(from) != from_epoch) return;  // connector died
     Endpoint* target = net.Find(to);
+    Endpoint* connector = net.Find(from);
+    const LaneId from_lane = connector != nullptr ? connector->lane() : kNoLane;
     if (target == nullptr || !target->listening() ||
         !net.Reachable(from, to) || net.crash_epoch(to) != to_epoch) {
-      net.engine_.ScheduleAfter(
-          net.config_.disconnect_detect_delay,
+      // Connect-timeout report travels back to the connector's lane.
+      net.engine_.ScheduleSeamAfter(
+          from_lane, net.config_.disconnect_detect_delay,
           [&net, done = std::move(done), from, from_epoch, to] {
             if (net.crash_epoch(from) != from_epoch) return;
             Endpoint* self = net.Find(from);
@@ -280,15 +302,22 @@ void Endpoint::Connect(const std::string& to,
       return;
     }
     auto conn = std::make_shared<Connection>(net, from, to);
-    net.connections_.insert(conn);
+    {
+      // Accepts can run concurrently in different target groups; the
+      // registry insert is the only cross-group write (commutative —
+      // set insert order is invisible to the simulation).
+      sim::SeamLockGuard lock(net.connections_mu_);
+      net.connections_.insert(conn);
+    }
     auto server_handle = std::make_shared<ConnHandle>(conn, 1);
     {
       sim::LaneScope lane_scope(net.engine_.lane_checker(), target->lane());
       target->on_accept_(server_handle);
     }
-    net.engine_.ScheduleAfter(net.config_.latency, [&net, conn, from,
-                                                    from_epoch, to,
-                                                    done = std::move(done)]() {
+    // SYN-ACK: back to the connector's lane after one-way latency.
+    net.engine_.ScheduleSeamAfter(from_lane, net.config_.latency,
+                                  [&net, conn, from, from_epoch, to,
+                                   done = std::move(done)]() {
       if (net.crash_epoch(from) != from_epoch) return;  // connector died
       Endpoint* self = net.Find(from);
       sim::LaneScope lane_scope(net.engine_.lane_checker(),

@@ -147,7 +147,8 @@ void ControllerHarness::ArmRawWatch(std::size_t index, int shard,
         }
         b.handler(e);
       },
-      [this, index, shard, epoch] { OnRawWatchBreak(index, shard, epoch); });
+      [this, index, shard, epoch] { OnRawWatchBreak(index, shard, epoch); },
+      lane_);
   if (st.id == 0) {
     // Shard down: keep retrying until registration sticks.
     env_.engine.ScheduleAfter(

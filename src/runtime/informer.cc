@@ -27,7 +27,7 @@ void Informer::StartSource(int s) {
   src.watch_id = server.Watch(
       kind_, nullptr,
       [this, s](const apiserver::WatchEvent& event) { HandleEvent(s, event); },
-      [this, s] { OnWatchBreak(s); });
+      [this, s] { OnWatchBreak(s); }, cache_.bound_lane());
   if (src.watch_id == 0) {
     const std::uint64_t session = session_;
     server.engine().ScheduleAfter(server.cost().watch_retry_backoff,
@@ -157,7 +157,7 @@ void Informer::Rearm(int s) {
   src.watch_id = server.Watch(
       kind_, nullptr,
       [this, s](const apiserver::WatchEvent& event) { HandleEvent(s, event); },
-      [this, s] { OnWatchBreak(s); });
+      [this, s] { OnWatchBreak(s); }, cache_.bound_lane());
   if (src.watch_id == 0) {
     ScheduleRearm(s);  // Still down.
     return;

@@ -1,272 +1,141 @@
 #include "sim/engine.h"
 
-#include <cassert>
 #include <limits>
 
 namespace kd::sim {
 
-Engine::Engine()
-    : wheel_(kWheelSize), occupied_(kWheelWords, 0) {}
+namespace {
+constexpr std::uint64_t kDefaultRngSeed = 0x9E3779B97F4A7C15ULL;
+}  // namespace
 
-Engine::~Engine() {
-  // Destroy captures of still-pending events. Cancelled slots already
-  // dropped theirs (destroy == nullptr after DestroyClosure).
-  for (std::size_t i = 0; i < slot_count_; ++i) {
-    Slot& slot = SlotAt(static_cast<std::uint32_t>(i));
-    if (slot.destroy != nullptr) slot.destroy(slot.closure);
-  }
+Engine::Engine() : rng_(kDefaultRngSeed), rng_seed_(kDefaultRngSeed) {
+  queues_.push_back(std::make_unique<LaneQueue>());
 }
 
-void Engine::AppendToWheel(Time t, std::uint64_t seq,
-                           std::uint32_t slot) {
-  const std::size_t b = static_cast<std::size_t>(t) & kWheelMask;
-  wheel_[b].entries.push_back({seq, slot});
-  SetBit(b);
+Engine::~Engine() { ShutdownPool(); }
+
+Rng& Engine::rng() {
+  WorkerTls& tls = t_worker;
+  if (tls.engine == this && tls.group != 0) {
+    return pstate_->groups[static_cast<std::size_t>(tls.group)]->rng;
+  }
+  return rng_;
 }
 
-EventId Engine::Arm(std::uint32_t index, Time t) {
-  Slot& slot = SlotAt(index);
-  assert(!slot.armed);
-  slot.armed = true;
-  if (t < now_) t = now_;
-  const std::uint64_t seq = next_seq_++;
-  if (t - now_ < static_cast<Time>(kWheelSize)) {
-    AppendToWheel(t, seq, index);
-  } else {
-    heap_.push_back({t, seq, index});
-    SiftUp(heap_.size() - 1);
+void Engine::SeedRng(std::uint64_t seed) {
+  rng_seed_ = seed;
+  rng_.Seed(seed);
+  if (pstate_ != nullptr) {
+    for (std::size_t g = 1; g < pstate_->groups.size(); ++g) {
+      pstate_->groups[g]->rng.Seed(seed ^
+                                   (0xD1B54A32D192ED03ULL * (g + 1)));
+    }
   }
-  ++live_events_;
-  return MakeId(index, slot.generation);
 }
 
 bool Engine::Cancel(EventId id) {
   if (id == kInvalidEventId) return false;
-  const std::uint32_t index = static_cast<std::uint32_t>(id >> 32) - 1;
-  const std::uint32_t generation = static_cast<std::uint32_t>(id);
-  if (index >= slot_count_) return false;
-  Slot& slot = SlotAt(index);
+  const int group = static_cast<int>(id >> (kIdSlotBits + kIdGenBits));
+  const std::uint32_t index =
+      (static_cast<std::uint32_t>(id >> kIdGenBits) & kIdSlotMask) - 1;
+  const std::uint32_t generation =
+      static_cast<std::uint32_t>(id) & kIdGenMask;
+  if (group >= static_cast<int>(queues_.size())) return false;
+  const WorkerTls& tls = t_worker;
+  if (tls.engine == this) {
+    // Cross-group cancellation would race the owner's execution; no
+    // sanctioned seam cancels another lane's events.
+    KD_CHECK(group == tls.group,
+             "cross-group Cancel is not a sanctioned seam");
+  }
+  LaneQueue& q = *queues_[static_cast<std::size_t>(group)];
+  if (!q.has_slot(index)) return false;
+  LaneQueue::Slot& slot = q.SlotAt(index);
   // Generation mismatch: the event already fired (slot recycled or
   // generation bumped). Disarmed: it was already cancelled.
-  if (slot.generation != generation || !slot.armed) return false;
+  if ((slot.generation & kIdGenMask) != generation || !slot.armed) {
+    return false;
+  }
   slot.armed = false;
-  DestroyClosure(slot);  // drop captures now; queue entry skims lazily
-  assert(live_events_ > 0);
-  --live_events_;
+  LaneQueue::DestroyClosure(slot);  // drop captures now; entry skims lazily
+  if (slot.queued) {
+    // Queued events are counted live; epoch spawns not yet inserted by
+    // the barrier replay are not (the replay burns their seq and
+    // recycles the slot when it finds them disarmed).
+    slot.queued = false;
+    q.NoteCancelledQueued();
+  }
   return true;
 }
 
-// The overflow heap is 4-ary: each sift level is a dependent cache
-// access, so halving the depth (log4 vs log2) roughly halves the
-// dependency chain while the four children sit in at most two cache
-// lines. Pop ORDER is unaffected by arity or sift strategy — Before()
-// is a strict total order (seq breaks all ties), so overflow entries
-// migrate into the wheel in exactly sorted (time, seq) order for any
-// valid heap shape.
-void Engine::SiftUp(std::size_t i) {
-  const HeapEntry entry = heap_[i];
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 4;
-    if (!Before(entry, heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
+void Engine::FireSerial(LaneQueue& q, const LaneQueue::Fired& fired) {
+  LaneQueue::Slot& slot = q.SlotAt(fired.slot);
+  ++processed_;
+  const EventId id = MakeEventId(0, fired.slot, fired.generation);
+  if (trace_hook_) trace_hook_(q.now(), fired.seq, id);
+  // Restore the event's lane for the lane checker; the guard resets it
+  // when the closure unwinds (normally or by throw) so no lane leaks
+  // into engine-internal code between events.
+  if (lane_checker_.enabled()) {
+    lane_checker_.BeginEvent(q.now(), fired.seq, slot.lane);
   }
-  heap_[i] = entry;
-}
-
-void Engine::PopTop() {
-  const std::size_t n = heap_.size() - 1;  // entries excluding the back
-  if (n == 0) {
-    heap_.pop_back();
-    return;
-  }
-  // Bottom-up extraction: sift the hole at the root down the min-child
-  // path all the way to a leaf (a fixed, well-predicted descent — no
-  // per-level "does the replacement belong here?" compare), then drop
-  // the displaced back entry into the hole and bubble it up. The back
-  // entry is almost always a recent, i.e. late, event, so the final
-  // SiftUp is expected O(1).
-  std::size_t hole = 0;
-  for (;;) {
-    const std::size_t first = 4 * hole + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t last = first + 4 < n ? first + 4 : n;
-    for (std::size_t c = first + 1; c < last; ++c) {
-      if (Before(heap_[c], heap_[best])) best = c;
+  serial_origin_ = slot.origin;
+  struct FireGuard {
+    Engine* engine;
+    LaneQueue* queue;
+    std::uint32_t index;
+    ~FireGuard() {
+      engine->lane_checker_.SetCurrentLane(kNoLane);
+      engine->serial_origin_ = kNoLane;
+      LaneQueue::DestroyClosure(queue->SlotAt(index));
+      queue->FreeSlot(index);
     }
-    heap_[hole] = heap_[best];
-    hole = best;
-  }
-  heap_[hole] = heap_[n];
-  heap_.pop_back();
-  SiftUp(hole);
-}
-
-std::size_t Engine::NextOccupiedDistance() const {
-  const std::size_t cb = static_cast<std::size_t>(now_) & kWheelMask;
-  const std::size_t pos = (cb + 1) & kWheelMask;
-  std::size_t word = pos >> 6;
-  std::uint64_t w = occupied_[word] & (~std::uint64_t{0} << (pos & 63));
-  // One extra word pass covers the wrap back into the starting word.
-  for (std::size_t scanned = 0; scanned <= kWheelWords; ++scanned) {
-    while (w != 0) {
-      const std::size_t b =
-          (word << 6) +
-          static_cast<std::size_t>(__builtin_ctzll(w));
-      const std::size_t dist = (b - cb) & kWheelMask;
-      // dist == 0 is the current bucket's own (consumed) bit showing
-      // up at the end of the full circle — not a future event.
-      if (dist != 0) return dist;
-      w &= w - 1;
-    }
-    word = (word + 1) & (kWheelWords - 1);
-    w = occupied_[word];
-  }
-  return 0;
-}
-
-Time Engine::PeekNextTime() {
-  // Skim dead (cancelled) entries at the current bucket's head; a live
-  // one means the next event is due right now.
-  Bucket& cur = wheel_[static_cast<std::size_t>(now_) & kWheelMask];
-  while (cur.head < cur.entries.size()) {
-    const BucketEntry e = cur.entries[cur.head];
-    if (SlotAt(e.slot).armed) return now_;
-    ++cur.head;
-    ReleaseSlot(e.slot);
-  }
-  // Skim dead overflow tops so heap_.front() is a live event.
-  while (!heap_.empty() && !SlotAt(heap_.front().slot).armed) {
-    const std::uint32_t index = heap_.front().slot;
-    PopTop();
-    ReleaseSlot(index);
-  }
-  Time next = kNoEvent;
-  const std::size_t dist = NextOccupiedDistance();
-  if (dist != 0) next = now_ + static_cast<Time>(dist);
-  if (!heap_.empty() &&
-      (next == kNoEvent || heap_.front().time < next)) {
-    next = heap_.front().time;
-  }
-  return next;
-}
-
-void Engine::AdvanceTo(Time t) {
-  assert(t > now_);
-  // Retire the bucket the clock is leaving. Every bucket strictly
-  // between now_ and t is empty (PeekNextTime picked the minimum), so
-  // this is the only one to reset.
-  Bucket& cur = wheel_[static_cast<std::size_t>(now_) & kWheelMask];
-  assert(cur.head == cur.entries.size());
-  cur.entries.clear();
-  cur.head = 0;
-  ClearBit(static_cast<std::size_t>(now_) & kWheelMask);
-  now_ = t;
-  // Migrate overflow events whose time just entered the horizon. The
-  // heap pops in (time, seq) order and any future in-horizon schedule
-  // for those ticks gets a larger seq, so each bucket stays appended
-  // in seq order — the global fire order remains sorted (time, seq).
-  while (!heap_.empty() &&
-         heap_.front().time - now_ < static_cast<Time>(kWheelSize)) {
-    const HeapEntry e = heap_.front();
-    PopTop();
-    if (!SlotAt(e.slot).armed) {
-      ReleaseSlot(e.slot);
-      continue;
-    }
-    AppendToWheel(e.time, e.seq, e.slot);
-  }
-}
-
-bool Engine::PopAndFire(Time limit) {
-  for (;;) {
-    const Time next = PeekNextTime();
-    // next can name a bucket holding only cancelled entries (the
-    // occupancy bitmap cannot see armedness), so the limit check must
-    // gate every lap, not just the first: draining such a bucket loops
-    // back here, and the following live event may lie beyond `limit`.
-    if (next == kNoEvent || next > limit) return false;
-    if (next != now_) AdvanceTo(next);
-    Bucket& bucket = wheel_[static_cast<std::size_t>(now_) & kWheelMask];
-    while (bucket.head < bucket.entries.size()) {
-      const BucketEntry e = bucket.entries[bucket.head];
-      ++bucket.head;
-      Slot& slot = SlotAt(e.slot);
-      if (!slot.armed) {  // cancelled after the peek, or a dead entry
-        ReleaseSlot(e.slot);
-        continue;
-      }
-      ++processed_;
-      const EventId id = MakeId(e.slot, slot.generation);
-      // Disarm and bump the generation BEFORE invoking, so a
-      // Cancel(id) or stale-id probe from inside the closure sees
-      // "already fired". The closure runs in place in the slot buffer:
-      // the slot is not on the free list yet, so nothing the closure
-      // schedules can recycle it mid-invocation, and chunked storage
-      // keeps its address stable while the arena grows. Captures are
-      // destroyed when the guard unwinds — after the closure returns,
-      // before the next event fires (the same lifetime the old
-      // move-out-then-invoke scheme gave). Note `bucket` must not be
-      // touched after invoke: the closure may append to it.
-      slot.armed = false;
-      ++slot.generation;
-      assert(live_events_ > 0);
-      --live_events_;
-      if (trace_hook_) trace_hook_(now_, e.seq, id);
-      // Restore the event's lane for the lane checker; the guard
-      // resets it when the closure unwinds (normally or by throw) so
-      // no lane leaks into engine-internal code between events.
-      if (lane_checker_.enabled()) {
-        lane_checker_.BeginEvent(now_, e.seq, slot.lane);
-      }
-      struct FireGuard {
-        Engine* engine;
-        std::uint32_t index;
-        ~FireGuard() {
-          engine->lane_checker_.SetCurrentLane(kNoLane);
-          DestroyClosure(engine->SlotAt(index));
-          engine->free_slots_.push_back(index);
-        }
-      } guard{this, e.slot};
-      slot.invoke(slot.closure);
-      return true;
-    }
-    // The bucket the peek steered us into held only dead entries (all
-    // cancelled between peek and here, or a fully-cancelled far
-    // bucket); look again.
-  }
+  } guard{this, &q, fired.slot};
+  slot.invoke(slot.closure);
 }
 
 bool Engine::Step() {
-  return PopAndFire(std::numeric_limits<Time>::max());
+  KD_CHECK(!parallel(), "Step() is serial-mode only");
+  LaneQueue& q = *queues_[0];
+  LaneQueue::Fired fired;
+  if (!q.PopDue(std::numeric_limits<Time>::max(), fired)) return false;
+  FireSerial(q, fired);
+  return true;
 }
 
 std::uint64_t Engine::Run() {
-  stopped_ = false;
+  if (parallel()) return RunParallel(0, /*bounded=*/false);
+  stop_flag_.store(false, std::memory_order_relaxed);
   hit_event_limit_ = false;
+  LaneQueue& q = *queues_[0];
   std::uint64_t n = 0;
-  while (!stopped_) {
+  while (!stop_flag_.load(std::memory_order_relaxed)) {
     if (event_limit_ != 0 && n >= event_limit_) {
       hit_event_limit_ = true;
       break;
     }
-    if (!PopAndFire(std::numeric_limits<Time>::max())) break;
+    LaneQueue::Fired fired;
+    if (!q.PopDue(std::numeric_limits<Time>::max(), fired)) break;
+    FireSerial(q, fired);
     ++n;
   }
   return n;
 }
 
 std::uint64_t Engine::RunUntil(Time t) {
-  stopped_ = false;
+  if (parallel()) return RunParallel(t, /*bounded=*/true);
+  stop_flag_.store(false, std::memory_order_relaxed);
   hit_event_limit_ = false;
+  LaneQueue& q = *queues_[0];
   std::uint64_t n = 0;
-  while (!stopped_) {
+  while (!stop_flag_.load(std::memory_order_relaxed)) {
     if (event_limit_ != 0 && n >= event_limit_) {
       hit_event_limit_ = true;
       break;
     }
-    if (!PopAndFire(t)) break;
+    LaneQueue::Fired fired;
+    if (!q.PopDue(t, fired)) break;
+    FireSerial(q, fired);
     ++n;
   }
   // Advance the clock to t even when no event fired there, keeping the
@@ -274,7 +143,10 @@ std::uint64_t Engine::RunUntil(Time t) {
   // step with the jump. Skipped when the event limit tripped: events
   // earlier than t are still pending, and the clock must not pass
   // pending work.
-  if (!stopped_ && !hit_event_limit_ && now_ < t) AdvanceTo(t);
+  if (!stop_flag_.load(std::memory_order_relaxed) && !hit_event_limit_ &&
+      q.now() < t) {
+    q.AdvanceTo(t);
+  }
   return n;
 }
 

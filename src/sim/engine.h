@@ -8,58 +8,45 @@
 // load. That determinism is what lets the property tests replay exact
 // failure interleavings from a seed.
 //
-// The event store is a slot/generation arena plus a two-tier queue:
+// The event store (one LaneQueue, see sim/lane_queue.h) is a
+// slot/generation arena plus a two-tier queue: closures constructed in
+// place in 64-byte slots, a timing wheel for the next 8192 ticks, and
+// a 4-ary overflow min-heap migrating into the wheel as the clock
+// advances. EventId encodes group+slot+generation, so Cancel is O(1)
+// and stale ids (fired, cancelled, recycled) safely return false.
 //
-//   - each pending event lives in a reusable slot holding its closure
-//     IN PLACE: ScheduleAt type-erases the callable into a 64-byte
-//     inline buffer (one heap box only for larger captures — a much
-//     higher bar than std::function's ~16-byte small-object limit), so
-//     steady-state scheduling performs no allocation and the closure
-//     is never moved again — it is constructed, invoked, and destroyed
-//     at the same address. Slots live in fixed-size chunks so their
-//     addresses are stable while a firing closure schedules new work;
+// PARALLEL MODE (ConfigureParallel): the engine partitions events into
+// per-lane-group queues that a worker pool executes concurrently
+// between deterministic barrier epochs sized by conservative lookahead
+// (the minimum cross-lane seam latency — SetLookahead). Cross-group
+// schedules must go through ScheduleSeamAt/After, which routes them
+// into per-group-pair mailboxes drained in fixed (time, seq) order at
+// the barrier; a replay pass there reassigns the globally-serial
+// sequence numbers, so the observable event trace — including the
+// trace-hook fingerprints — is byte-identical to the serial engine at
+// every thread count. See sim/parallel.h for the full argument.
 //
-//   - events within the wheel horizon (now .. now + 8192 ticks) go to
-//     a timing wheel: one FIFO bucket per tick plus an occupancy
-//     bitmap. Scheduling is O(1) (append), firing is O(1) amortized
-//     (bitmap scan to the next occupied tick). A comparison heap costs
-//     ~log(live) dependent, mispredicting compares per event, which
-//     measures an order of magnitude slower at realistic queue depths;
-//
-//   - events beyond the horizon go to an overflow 4-ary min-heap of
-//     lightweight {time, seq, slot} entries and migrate into the wheel
-//     exactly when the advancing clock brings their time inside the
-//     horizon. Migration happens before any in-horizon schedule can
-//     target those ticks, so each bucket is appended in seq order and
-//     the global fire order is exactly sorted (time, seq) — the same
-//     order a single heap would produce, byte-identical traces
-//     included;
-//
-//   - EventId encodes slot+generation, so Cancel is O(1): it disarms
-//     the slot (tombstone), destroys the captures immediately, and the
-//     queues skip the entry lazily when it surfaces. The generation
-//     guards against slot reuse, so stale ids (fired, cancelled, or
-//     recycled) safely return false.
+// Serial-mode behavior is exactly the pre-parallel engine's; with one
+// group the parallel paths are never entered.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <new>
-#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/lane.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "sim/lane_checker.h"
+#include "sim/lane_queue.h"
+#include "sim/parallel.h"
 
 namespace kd::sim {
-
-using EventId = std::uint64_t;
-constexpr EventId kInvalidEventId = 0;
 
 class Engine {
  public:
@@ -68,50 +55,69 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  Time now() const { return now_; }
+  Time now() const {
+    const WorkerTls& tls = t_worker;
+    if (tls.engine == this) return tls.now;
+    return pstate_ == nullptr ? queues_[0]->now() : now_;
+  }
 
   // Schedules `fn` at absolute virtual time `t` (clamped to now).
   // Accepts any nullary callable; the closure is stored in place in
-  // the event slot (see file comment).
+  // the event slot (see sim/lane_queue.h). The event inherits the lane
+  // of the scheduling context, so lane membership flows through
+  // closure chains (see sim/lane_checker.h).
   template <class F>
   EventId ScheduleAt(Time t, F&& fn) {
-    const std::uint32_t index = AcquireSlot();
-    Slot& slot = SlotAt(index);
-    // The event inherits the lane of the context scheduling it, so
-    // lane membership flows through closure chains (see
-    // sim/lane_checker.h).
-    slot.lane = lane_checker_.current_lane();
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineClosureBytes &&
-                  alignof(Fn) <= alignof(std::max_align_t)) {
-      ::new (static_cast<void*>(slot.closure)) Fn(std::forward<F>(fn));
-      slot.invoke = [](void* c) { (*static_cast<Fn*>(c))(); };
-      slot.destroy = std::is_trivially_destructible_v<Fn>
-                         ? nullptr
-                         : static_cast<void (*)(void*)>(
-                               [](void* c) { static_cast<Fn*>(c)->~Fn(); });
-    } else {
-      // Oversized or overaligned closure: box it.
-      ::new (static_cast<void*>(slot.closure))
-          Fn*(new Fn(std::forward<F>(fn)));
-      slot.invoke = [](void* c) { (**static_cast<Fn**>(c))(); };
-      slot.destroy = [](void* c) { delete *static_cast<Fn**>(c); };
-    }
-    return Arm(index, t);
+    return ScheduleImpl(/*seam=*/false, kNoLane, t, std::forward<F>(fn));
   }
 
   // Schedules `fn` after `delay` from now (negative delays clamp to 0).
   template <class F>
   EventId ScheduleAfter(Duration delay, F&& fn) {
-    return ScheduleAt(now_ + (delay < 0 ? 0 : delay),
+    return ScheduleAt(now() + (delay < 0 ? 0 : delay),
                       std::forward<F>(fn));
   }
 
+  // Cross-lane seam schedule: the event executes in `target_lane`
+  // (and, in parallel mode, in that lane's group) instead of
+  // inheriting the scheduling context's lane. In serial mode this is
+  // ScheduleAt plus lane bookkeeping — the trace is unchanged. In
+  // parallel mode a cross-group seam must satisfy t - now >= lookahead
+  // (KD_CHECKed); every sanctioned seam type (net delivery, informer
+  // merges, ApiClient uplinks/completions, watch broadcast) clears
+  // that bar by construction because the lookahead is derived as the
+  // minimum of their latencies. From driver context (outside any
+  // event) any target time is allowed. Cross-group seam events are not
+  // cancellable from other groups; the returned id is
+  // kInvalidEventId for mailboxed (worker-context cross-group) sends.
+  template <class F>
+  EventId ScheduleSeamAt(LaneId target_lane, Time t, F&& fn) {
+    return ScheduleImpl(/*seam=*/true, target_lane, t, std::forward<F>(fn));
+  }
+
+  template <class F>
+  EventId ScheduleSeamAfter(LaneId target_lane, Duration delay, F&& fn) {
+    return ScheduleSeamAt(target_lane, now() + (delay < 0 ? 0 : delay),
+                          std::forward<F>(fn));
+  }
+
+  // Lane of the context that scheduled the currently-executing event
+  // (kNoLane outside events). A seam target uses this to learn who
+  // called it — e.g. the API server captures the client's lane at
+  // Serve() entry to route the completion back.
+  LaneId seam_origin_lane() const {
+    const WorkerTls& tls = t_worker;
+    return tls.engine == this ? tls.origin : serial_origin_;
+  }
+
   // Cancels a pending event. Returns false if it already fired or was
-  // already cancelled. Safe to call with kInvalidEventId.
+  // already cancelled. Safe to call with kInvalidEventId. In parallel
+  // worker context only events of the caller's own group may be
+  // cancelled (cross-group cancellation is not a sanctioned seam).
   bool Cancel(EventId id);
 
-  // Runs one event; returns false when the queue is empty.
+  // Runs one event; returns false when the queue is empty. Serial mode
+  // only.
   bool Step();
 
   // Runs until the queue drains or Stop() is called. Returns the number
@@ -122,30 +128,45 @@ class Engine {
   // (even if no event fired). Returns the number of events processed.
   std::uint64_t RunUntil(Time t);
 
-  std::uint64_t RunFor(Duration d) { return RunUntil(now_ + d); }
+  std::uint64_t RunFor(Duration d) { return RunUntil(now() + d); }
 
-  // Makes Run()/RunUntil() return after the current event completes.
-  void Stop() { stopped_ = true; }
+  // Makes Run()/RunUntil() return after the current event completes
+  // (serial) or after the current epoch completes (parallel — epoch
+  // granularity keeps the stop point deterministic per thread count).
+  void Stop() { stop_flag_.store(true, std::memory_order_relaxed); }
 
-  bool empty() const { return live_events_ == 0; }
-  std::size_t pending_events() const { return live_events_; }
+  bool empty() const { return pending_events() == 0; }
+  std::size_t pending_events() const {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q->live_events();
+    return n;
+  }
   std::uint64_t processed_events() const { return processed_; }
 
   // Hard cap on total events processed per Run*/Step sequence; guards
-  // tests against livelock in buggy reconcile loops. 0 disables.
+  // tests against livelock in buggy reconcile loops. 0 disables. In
+  // parallel mode the budget is checked at epoch boundaries, so the
+  // cap can overshoot by up to one epoch per group.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
   bool hit_event_limit() const { return hit_event_limit_; }
 
   // The simulation-layer entropy source (kdlint R1: ambient entropy is
   // banned outside src/sim, so deterministic jitter — e.g. retry
   // backoff — draws from here). Seeded at construction; SeedRng makes
-  // a run's stream reproducible from a test/bench seed.
-  Rng& rng() { return rng_; }
-  void SeedRng(std::uint64_t seed) { rng_.Seed(seed); }
+  // a run's stream reproducible from a test/bench seed. In parallel
+  // mode each group gets an independent stream forked from the seed
+  // (group 0 keeps the serial stream), so draws are reproducible per
+  // group but the interleaved global stream differs from serial —
+  // no fault-free path draws, so the pinned fingerprints are
+  // unaffected.
+  Rng& rng();
+  void SeedRng(std::uint64_t seed);
 
   // Observer invoked as each event fires: (virtual time, scheduling
   // sequence number, event id). The determinism-replay regression test
   // fingerprints whole runs with it; it is unset (free) in normal use.
+  // In parallel mode it fires during the barrier replay, on the main
+  // thread, in exactly serial (time, seq) order.
   using TraceHook = std::function<void(Time, std::uint64_t, EventId)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
@@ -153,126 +174,157 @@ class Engine {
   // never changes the event trace). See sim/lane_checker.h.
   LaneChecker& lane_checker() { return lane_checker_; }
 
+  // --- parallel mode ----------------------------------------------------
+
+  // Splits the engine into `groups` lane groups executed by `threads`
+  // workers (worker 0 is the caller's thread; threads is clamped to
+  // groups). groups == 1 keeps the engine serial. Call once, outside
+  // any run; events already scheduled stay in group 0. Lanes bind to
+  // groups via BindLaneToGroup (default: group 0).
+  void ConfigureParallel(int groups, int threads);
+
+  // Routes events whose lane is `lane` to `group`'s queue. Unbound
+  // lanes (and kNoLane — driver context) run in group 0.
+  void BindLaneToGroup(LaneId lane, int group);
+
+  // Conservative lookahead: the minimum latency of any cross-group
+  // seam schedule. Epochs span [T, T + L). Must be >= 1 tick.
+  void SetLookahead(Duration l);
+
+  bool parallel() const {
+    return pstate_ != nullptr && pstate_->num_groups > 1;
+  }
+  int num_groups() const {
+    return pstate_ == nullptr ? 1 : pstate_->num_groups;
+  }
+  int threads_used() const {
+    return pstate_ == nullptr ? 1 : pstate_->num_threads;
+  }
+  Duration lookahead() const { return lookahead_; }
+
+  // Bench-attribution counters (satellite: every BENCH_*.json records
+  // them). Serial runs report zero epochs.
+  std::uint64_t epochs_executed() const {
+    return pstate_ == nullptr ? 0 : pstate_->epochs;
+  }
+  double mean_lookahead() const {
+    if (pstate_ == nullptr || pstate_->epochs == 0) return 0.0;
+    return static_cast<double>(pstate_->lookahead_sum) /
+           static_cast<double>(pstate_->epochs);
+  }
+  // Events on the per-epoch critical path (Σ max-group fires): the
+  // wall-clock lower bound a perfectly parallel host would see.
+  // processed_events() / critical_path_events() is the algorithmic
+  // speedup the partition admits, independent of host core count.
+  std::uint64_t critical_path_events() const {
+    return pstate_ == nullptr ? 0 : pstate_->critical_path_events;
+  }
+
  private:
-  static constexpr std::size_t kInlineClosureBytes = 64;
-  // Chunked arena: slot addresses must stay stable while a closure is
-  // executing in place (it may schedule new events, growing the arena).
-  static constexpr std::size_t kSlotChunkShift = 8;
-  static constexpr std::size_t kSlotChunkSize = std::size_t{1}
-                                                << kSlotChunkShift;
-  // Timing wheel: one bucket per tick, covering [now, now + kWheelSize).
-  static constexpr std::size_t kWheelBits = 13;
-  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
-  static constexpr std::size_t kWheelMask = kWheelSize - 1;
-  static constexpr std::size_t kWheelWords = kWheelSize / 64;
-  static constexpr Time kNoEvent = -1;
+  // EventId layout: group(10) | slot+1(30) | generation(24). slot+1
+  // keeps 0 == kInvalidEventId. The generation compare is masked to 24
+  // bits — 16M recycles per slot before a stale id could alias.
+  static constexpr int kIdGenBits = 24;
+  static constexpr int kIdSlotBits = 30;
+  static constexpr std::uint32_t kIdGenMask = (1u << kIdGenBits) - 1;
+  static constexpr std::uint32_t kIdSlotMask = (1u << kIdSlotBits) - 1;
 
-  struct Slot {
-    alignas(std::max_align_t) unsigned char closure[kInlineClosureBytes];
-    void (*invoke)(void*) = nullptr;
-    // nullptr when the captures are trivially destructible — the
-    // common case pays no indirect call to drop them.
-    void (*destroy)(void*) = nullptr;
-    std::uint32_t generation = 1;
-    LaneId lane = kNoLane;  // lane of the scheduling context
-    bool armed = false;
-  };
-  struct BucketEntry {
-    std::uint64_t seq;  // tie-break: FIFO at equal times
-    std::uint32_t slot;
-  };
-  struct Bucket {
-    std::vector<BucketEntry> entries;
-    std::size_t head = 0;  // next unconsumed entry
-  };
-  struct HeapEntry {
-    Time time;
-    std::uint64_t seq;
-    std::uint32_t slot;
-  };
-
-  static bool Before(const HeapEntry& a, const HeapEntry& b) {
-    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
-  }
-  static EventId MakeId(std::uint32_t slot, std::uint32_t generation) {
-    return (static_cast<EventId>(slot + 1) << 32) | generation;
+  static EventId MakeEventId(int group, std::uint32_t slot,
+                             std::uint32_t generation) {
+    return (static_cast<EventId>(group) << (kIdSlotBits + kIdGenBits)) |
+           (static_cast<EventId>(slot + 1) << kIdGenBits) |
+           (generation & kIdGenMask);
   }
 
-  Slot& SlotAt(std::uint32_t i) {
-    return chunks_[i >> kSlotChunkShift][i & (kSlotChunkSize - 1)];
+  int GroupOf(LaneId lane) const {
+    if (pstate_ == nullptr || lane >= lane_group_.size()) return 0;
+    return lane_group_[lane];
   }
 
-  std::uint32_t AcquireSlot() {
-    if (!free_slots_.empty()) {
-      const std::uint32_t i = free_slots_.back();
-      free_slots_.pop_back();
-      return i;
+  template <class F>
+  EventId ScheduleImpl(bool seam, LaneId target, Time t, F&& fn) {
+    WorkerTls& tls = t_worker;
+    if (tls.engine == this) {
+      return ScheduleInEpoch(seam, target, t, std::forward<F>(fn));
     }
-    if ((slot_count_ & (kSlotChunkSize - 1)) == 0) {
-      chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    // Serial / driver-phase path: assign the seq now, insert directly.
+    const LaneId current = lane_checker_.current_lane();
+    const LaneId lane = seam ? target : current;
+    const int group = seam ? GroupOf(lane) : 0;
+    LaneQueue& q = *queues_[group];
+    const std::uint32_t index = q.AcquireSlot();
+    LaneQueue::Slot& slot = q.SlotAt(index);
+    slot.lane = lane;
+    slot.origin = current;
+    LaneQueue::EmplaceClosure(slot, std::forward<F>(fn));
+    const Time base = pstate_ == nullptr ? queues_[0]->now() : now_;
+    q.Arm(index, t < base ? base : t, next_seq_++);
+    return MakeEventId(group, index, slot.generation);
+  }
+
+  template <class F>
+  EventId ScheduleInEpoch(bool seam, LaneId target, Time t, F&& fn) {
+    WorkerTls& tls = t_worker;
+    ParallelState& ps = *pstate_;
+    if (t < tls.now) t = tls.now;
+    const LaneId current = lane_checker_.current_lane();
+    const LaneId lane = seam ? target : current;
+    const int tg = seam ? GroupOf(lane) : tls.group;
+    GroupRun& g = *ps.groups[static_cast<std::size_t>(tls.group)];
+    if (tg == tls.group) {
+      LaneQueue& q = *queues_[tg];
+      const std::uint32_t index = q.AcquireSlot();
+      LaneQueue::Slot& slot = q.SlotAt(index);
+      slot.lane = lane;
+      slot.origin = current;
+      LaneQueue::EmplaceClosure(slot, std::forward<F>(fn));
+      const std::uint32_t si = static_cast<std::uint32_t>(g.spawns.size());
+      g.spawns.push_back(Spawn{t, index, -1, -1, 0});
+      if (t < ps.epoch_end) {
+        // Due this epoch: stage it with a tentative key after every
+        // pre-existing event and every earlier spawn (sim/parallel.h).
+        g.staged.push(StagedEntry{t, ps.seq_base + g.tentative++, si});
+      }
+      return MakeEventId(tg, index, slot.generation);
     }
-    return static_cast<std::uint32_t>(slot_count_++);
+    // Cross-group: the conservative-lookahead contract makes the
+    // target time land at or after the epoch boundary.
+    KD_CHECK(t - tls.now >= lookahead_,
+             "cross-lane schedule below the conservative lookahead");
+    auto& box = ps.mail[static_cast<std::size_t>(tls.group)]
+                       [static_cast<std::size_t>(tg)];
+    const std::uint32_t mi = static_cast<std::uint32_t>(box.size());
+    box.push_back(MailEntry{t, lane, current, BoxClosure(std::forward<F>(fn))});
+    g.spawns.push_back(Spawn{t, 0, -1, tg, mi});
+    return kInvalidEventId;
   }
 
-  static void DestroyClosure(Slot& slot) {
-    if (slot.destroy != nullptr) slot.destroy(slot.closure);
-    slot.invoke = nullptr;
-    slot.destroy = nullptr;
-  }
+  // Fires one serially-popped event (shared by Step/Run/RunUntil).
+  void FireSerial(LaneQueue& q, const LaneQueue::Fired& fired);
 
-  // Recycles a slot whose closure is already gone (fired or cancelled).
-  void ReleaseSlot(std::uint32_t index) {
-    Slot& slot = SlotAt(index);
-    ++slot.generation;  // invalidate any outstanding EventId
-    free_slots_.push_back(index);
-  }
+  // Parallel run loop: epochs until drained / t reached / stopped.
+  std::uint64_t RunParallel(Time until, bool bounded);
+  void RunEpochOnWorkers();
+  void RunGroupEpoch(int group);
+  std::uint64_t ReplayEpoch();
+  void WorkerMain(int worker_index);
+  void ShutdownPool();
 
-  void SetBit(std::size_t b) {
-    occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
-  }
-  void ClearBit(std::size_t b) {
-    occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
-  }
-
-  // Pushes the queue entry for an already-populated slot; returns the
-  // event id.
-  EventId Arm(std::uint32_t index, Time t);
-
-  void AppendToWheel(Time t, std::uint64_t seq, std::uint32_t slot);
-  // Ring distance (1..kWheelSize-1) from now_ to the next occupied
-  // bucket, or 0 when the wheel holds no other bucket.
-  std::size_t NextOccupiedDistance() const;
-  // Skims dead entries, then returns the time of the next live event
-  // without firing or advancing the clock (kNoEvent if none).
-  Time PeekNextTime();
-  // Advances the clock to t (t > now_): retires the current bucket and
-  // migrates overflow events whose time entered the wheel horizon.
-  void AdvanceTo(Time t);
-
-  void SiftUp(std::size_t i);
-  void PopTop();
-
-  // Fires the next event if its time is <= limit. A false return means
-  // no live event is due by `limit` (the clock may still have advanced
-  // through buckets that held only cancelled entries).
-  bool PopAndFire(Time limit);
-
-  Time now_ = 0;
+  Time now_ = 0;  // parallel driver clock; serial mode uses queue 0's
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   std::uint64_t event_limit_ = 0;
   bool hit_event_limit_ = false;
-  bool stopped_ = false;
-  std::size_t live_events_ = 0;
-  std::size_t slot_count_ = 0;
-  std::vector<std::unique_ptr<Slot[]>> chunks_;
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<Bucket> wheel_;
-  std::vector<std::uint64_t> occupied_;
-  std::vector<HeapEntry> heap_;  // overflow: time >= now_ + kWheelSize
+  std::atomic<bool> stop_flag_{false};
+  LaneId serial_origin_ = kNoLane;
+  std::vector<std::unique_ptr<LaneQueue>> queues_;
+  std::vector<std::uint16_t> lane_group_;  // LaneId -> group
+  Duration lookahead_ = 1;
+  std::unique_ptr<ParallelState> pstate_;
   TraceHook trace_hook_;
   LaneChecker lane_checker_;
   Rng rng_;
+  std::uint64_t rng_seed_;
 };
 
 }  // namespace kd::sim

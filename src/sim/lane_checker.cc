@@ -1,8 +1,13 @@
 #include "sim/lane_checker.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/strings.h"
 
 namespace kd::sim {
+
+thread_local LaneChecker::EventCtx LaneChecker::t_ctx;
 
 LaneId LaneChecker::RegisterLane(const std::string& name) {
   auto it = by_name_.find(name);
@@ -23,73 +28,98 @@ void LaneChecker::BeginEvent(Time time, std::uint64_t seq, LaneId lane) {
     epoch_time_ = time;
     shadow_.clear();
   }
-  current_seq_ = seq;
-  current_ = lane;
+  t_ctx = EventCtx{lane, time, seq};
+}
+
+void LaneChecker::BeginEventParallel(Time time, LaneId lane) {
+  t_ctx = EventCtx{lane, time, 0};
 }
 
 void LaneChecker::Touch(const void* site, const std::string& site_name,
                         LaneId owner, const std::string& key, bool is_write) {
-  if (!enabled_ || current_ == kNoLane) return;
+  if (!enabled_) return;
+  const EventCtx ctx = t_ctx;
+  if (ctx.lane == kNoLane) return;
   Conflict c;
   bool conflict = false;
-  if (owner != kNoLane && current_ != owner) {
+  if (owner != kNoLane && ctx.lane != owner) {
     conflict = true;  // ownership breach: wrong lane on owned state
   }
-  auto shadow_key = std::make_pair(site, key);
-  auto it = shadow_.find(shadow_key);
-  if (it != shadow_.end()) {
-    const TouchRec& prev = it->second;
-    // Same-epoch cross-lane overlap with a write involved: these two
-    // events would race in a parallel engine.
-    if (prev.lane != current_ && (is_write || prev.write)) {
-      conflict = true;
-      c.prev_lane = prev.lane;
-      c.prev_time = prev.time;
-      c.prev_seq = prev.seq;
+  if (!parallel_mode_) {
+    // Same-virtual-time overlap tracking is serial-only: the shadow
+    // map's epoch clearing assumes one thread walks the clock.
+    auto shadow_key = std::make_pair(site, key);
+    auto it = shadow_.find(shadow_key);
+    if (it != shadow_.end()) {
+      const TouchRec& prev = it->second;
+      // Same-epoch cross-lane overlap with a write involved: these two
+      // events would race in a parallel engine.
+      if (prev.lane != ctx.lane && (is_write || prev.write)) {
+        conflict = true;
+        c.prev_lane = prev.lane;
+        c.prev_time = prev.time;
+        c.prev_seq = prev.seq;
+      }
+      if (prev.lane == ctx.lane) it->second.write = prev.write || is_write;
+    } else {
+      shadow_.emplace(shadow_key,
+                      TouchRec{ctx.lane, ctx.time, ctx.seq, is_write});
     }
-    if (prev.lane == current_) it->second.write = prev.write || is_write;
-  } else {
-    shadow_.emplace(shadow_key,
-                    TouchRec{current_, epoch_time_, current_seq_, is_write});
   }
   if (conflict) {
     c.site = site_name;
     c.key = key;
     c.owner = owner;
-    c.actual = current_;
-    c.time = epoch_time_;
-    c.seq = current_seq_;
+    c.actual = ctx.lane;
+    c.time = ctx.time;
+    c.seq = ctx.seq;
     Record(std::move(c));
   }
 }
 
 void LaneChecker::Record(Conflict c) {
-  ++total_conflicts_;
-  if (conflicts_.size() < kMaxRecorded) conflicts_.push_back(std::move(c));
+  std::string report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_conflicts_;
+    if (conflicts_.size() < kMaxRecorded) conflicts_.push_back(c);
+    if (abort_on_conflict_) report = FormatConflict(c);
+  }
+  if (abort_on_conflict_) {
+    std::fprintf(stderr, "lane checker: aborting on conflict\n%s",
+                 report.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+std::string LaneChecker::FormatConflict(const Conflict& c) const {
+  std::string out = StrFormat(
+      "  %s[%s]: lane '%s' touched state owned by '%s' at t=%lld seq=%llu",
+      c.site.c_str(), c.key.c_str(), lane_name(c.actual).c_str(),
+      lane_name(c.owner).c_str(), static_cast<long long>(c.time),
+      static_cast<unsigned long long>(c.seq));
+  if (c.prev_lane != kNoLane) {
+    out += StrFormat(" (prior toucher: lane '%s' at t=%lld seq=%llu)",
+                     lane_name(c.prev_lane).c_str(),
+                     static_cast<long long>(c.prev_time),
+                     static_cast<unsigned long long>(c.prev_seq));
+  }
+  out += "\n";
+  return out;
 }
 
 std::string LaneChecker::FormatReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (total_conflicts_ == 0) return "lane checker: no conflicts\n";
   std::string out = StrFormat("lane checker: %llu conflict(s)\n",
                               static_cast<unsigned long long>(total_conflicts_));
-  for (const Conflict& c : conflicts_) {
-    out += StrFormat(
-        "  %s[%s]: lane '%s' touched state owned by '%s' at t=%lld seq=%llu",
-        c.site.c_str(), c.key.c_str(), lane_name(c.actual).c_str(),
-        lane_name(c.owner).c_str(), static_cast<long long>(c.time),
-        static_cast<unsigned long long>(c.seq));
-    if (c.prev_lane != kNoLane) {
-      out += StrFormat(" (prior toucher: lane '%s' at t=%lld seq=%llu)",
-                       lane_name(c.prev_lane).c_str(),
-                       static_cast<long long>(c.prev_time),
-                       static_cast<unsigned long long>(c.prev_seq));
-    }
-    out += "\n";
-  }
+  for (const Conflict& c : conflicts_) out += FormatConflict(c);
   return out;
 }
 
 void LaneChecker::ClearConflicts() {
+  std::lock_guard<std::mutex> lock(mu_);
   conflicts_.clear();
   total_conflicts_ = 0;
 }

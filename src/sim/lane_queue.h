@@ -1,0 +1,219 @@
+// One event queue: a slot/generation arena plus a two-tier timing
+// structure. The serial Engine owns exactly one of these; the parallel
+// engine owns one per lane group and executes them concurrently
+// between barrier epochs (see sim/parallel.h).
+//
+// The data structure is the one PR 1 built (and the file comment in
+// engine.h documents): closures stored in place in 64-byte slots that
+// live in address-stable chunks, a timing wheel covering the next 8192
+// ticks with an occupancy bitmap, and a 4-ary overflow min-heap whose
+// entries migrate into the wheel exactly when the advancing clock
+// brings them inside the horizon. Fire order is exactly sorted
+// (time, seq) for whatever seq values the caller arms events with —
+// the queue does not assign sequence numbers itself. That split is
+// what the parallel engine exploits: during an epoch it executes
+// events against tentative orderings and lets the barrier replay
+// assign the globally-serial seq to each spawn (sim/parallel.h).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/lane.h"
+#include "common/time.h"
+
+namespace kd::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class LaneQueue {
+ public:
+  static constexpr std::size_t kInlineClosureBytes = 64;
+  // Chunked arena: slot addresses must stay stable while a closure is
+  // executing in place (it may schedule new events, growing the arena).
+  static constexpr std::size_t kSlotChunkShift = 8;
+  static constexpr std::size_t kSlotChunkSize = std::size_t{1}
+                                                << kSlotChunkShift;
+  // Timing wheel: one bucket per tick, covering [now, now + kWheelSize).
+  static constexpr std::size_t kWheelBits = 13;
+  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+  static constexpr std::size_t kWheelMask = kWheelSize - 1;
+  static constexpr std::size_t kWheelWords = kWheelSize / 64;
+  static constexpr Time kNoEvent = -1;
+
+  struct Slot {
+    alignas(std::max_align_t) unsigned char closure[kInlineClosureBytes];
+    void (*invoke)(void*) = nullptr;
+    // nullptr when the captures are trivially destructible — the
+    // common case pays no indirect call to drop them.
+    void (*destroy)(void*) = nullptr;
+    std::uint32_t generation = 1;
+    LaneId lane = kNoLane;    // lane the event executes in
+    LaneId origin = kNoLane;  // lane of the scheduling context
+    bool armed = false;
+    // True while a queue entry (wheel/heap) references the slot. An
+    // armed slot without one is a parallel-epoch spawn the barrier
+    // replay has not inserted yet; Cancel uses the flag to keep the
+    // live-event count exact (only queued events were counted).
+    bool queued = false;
+  };
+
+  // A fired event, handed back for the caller to invoke: the slot is
+  // disarmed and its generation already bumped (so a Cancel or stale-id
+  // probe from inside the closure sees "already fired"), but the
+  // closure is NOT yet destroyed and the slot NOT yet recycled — the
+  // caller invokes `SlotAt(slot).invoke(...)` and then must call
+  // `DestroyClosure` + `FreeSlot`.
+  struct Fired {
+    std::uint32_t slot = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 0;  // pre-bump value, for the EventId
+  };
+
+  LaneQueue() : wheel_(kWheelSize), occupied_(kWheelWords, 0) {}
+  ~LaneQueue();
+  LaneQueue(const LaneQueue&) = delete;
+  LaneQueue& operator=(const LaneQueue&) = delete;
+
+  Time now() const { return now_; }
+  std::size_t live_events() const { return live_events_; }
+  bool has_slot(std::uint32_t i) const { return i < slot_count_; }
+
+  Slot& SlotAt(std::uint32_t i) {
+    return chunks_[i >> kSlotChunkShift][i & (kSlotChunkSize - 1)];
+  }
+
+  std::uint32_t AcquireSlot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t i = free_slots_.back();
+      free_slots_.pop_back();
+      return i;
+    }
+    if ((slot_count_ & (kSlotChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    }
+    return static_cast<std::uint32_t>(slot_count_++);
+  }
+
+  // Type-erases `fn` into the slot's inline buffer (heap box only for
+  // oversized/overaligned captures) and marks the slot armed.
+  template <class F>
+  static void EmplaceClosure(Slot& slot, F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineClosureBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(slot.closure)) Fn(std::forward<F>(fn));
+      slot.invoke = [](void* c) { (*static_cast<Fn*>(c))(); };
+      slot.destroy = std::is_trivially_destructible_v<Fn>
+                         ? nullptr
+                         : static_cast<void (*)(void*)>(
+                               [](void* c) { static_cast<Fn*>(c)->~Fn(); });
+    } else {
+      // Oversized or overaligned closure: box it.
+      ::new (static_cast<void*>(slot.closure))
+          Fn*(new Fn(std::forward<F>(fn)));
+      slot.invoke = [](void* c) { (**static_cast<Fn**>(c))(); };
+      slot.destroy = [](void* c) { delete *static_cast<Fn**>(c); };
+    }
+    slot.armed = true;
+    slot.queued = false;
+  }
+
+  static void DestroyClosure(Slot& slot) {
+    if (slot.destroy != nullptr) slot.destroy(slot.closure);
+    slot.invoke = nullptr;
+    slot.destroy = nullptr;
+  }
+
+  // Recycles a slot whose closure is already gone (fired or cancelled),
+  // invalidating any outstanding EventId.
+  void ReleaseSlot(std::uint32_t index) {
+    Slot& slot = SlotAt(index);
+    ++slot.generation;
+    free_slots_.push_back(index);
+  }
+
+  // Recycles a fired slot WITHOUT bumping the generation again (the
+  // fire already bumped it).
+  void FreeSlot(std::uint32_t index) { free_slots_.push_back(index); }
+
+  // Inserts the queue entry for an armed, closure-populated slot with
+  // the caller-assigned sequence number. t must be >= now().
+  void Arm(std::uint32_t index, Time t, std::uint64_t seq);
+
+  // Disarms a cancelled event that held a queue entry (drops the
+  // live-event count; the entry itself skims lazily).
+  void NoteCancelledQueued() {
+    assert(live_events_ > 0);
+    --live_events_;
+  }
+
+  // Skims dead (cancelled) entries, then returns the time of the next
+  // queued event without firing or advancing the clock (kNoEvent if
+  // none). The returned time can name a bucket holding only cancelled
+  // entries — the occupancy bitmap cannot see armedness — so callers
+  // loop.
+  Time PeekNextTime();
+
+  // Advances the clock to t (t > now()): retires the current bucket
+  // and migrates overflow events whose time entered the wheel horizon.
+  void AdvanceTo(Time t);
+
+  // Pops the next queued event with time <= limit, advancing the clock
+  // to its time. A false return means no queued live event is due by
+  // `limit` (the clock may still have advanced through buckets that
+  // held only cancelled entries). See Fired for the post-conditions.
+  bool PopDue(Time limit, Fired& out);
+
+ private:
+  struct BucketEntry {
+    std::uint64_t seq;  // tie-break: FIFO at equal times
+    std::uint32_t slot;
+  };
+  struct Bucket {
+    std::vector<BucketEntry> entries;
+    std::size_t head = 0;  // next unconsumed entry
+  };
+  struct HeapEntry {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  void SetBit(std::size_t b) {
+    occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  }
+  void ClearBit(std::size_t b) {
+    occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  }
+
+  void AppendToWheel(Time t, std::uint64_t seq, std::uint32_t slot);
+  // Ring distance (1..kWheelSize-1) from now_ to the next occupied
+  // bucket, or 0 when the wheel holds no other bucket.
+  std::size_t NextOccupiedDistance() const;
+
+  void SiftUp(std::size_t i);
+  void PopTop();
+
+  Time now_ = 0;
+  std::size_t live_events_ = 0;
+  std::size_t slot_count_ = 0;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Bucket> wheel_;
+  std::vector<std::uint64_t> occupied_;
+  std::vector<HeapEntry> heap_;  // overflow: time >= now_ + kWheelSize
+};
+
+}  // namespace kd::sim

@@ -1,0 +1,197 @@
+// Parallel conservative-lookahead execution state for sim::Engine.
+//
+// The parallel engine partitions events into per-lane-group LaneQueues
+// and executes an epoch [T, T+L) concurrently, one group per worker,
+// where L is the conservative lookahead: the minimum latency of any
+// cross-lane seam (net link delay, ApiClient uplink, watch delivery —
+// the cluster derives L from its cost model). Any event firing at
+// t ∈ [T, T+L) can only schedule cross-group work at >= t + L >= T+L,
+// i.e. strictly after the epoch — so groups never need each other's
+// state mid-epoch, and cross-group schedules park in per-group-pair
+// mailboxes that the barrier drains. That is the classic conservative
+// parallel-DES design (null-message-free because the barrier is
+// global).
+//
+// Determinism — the part that makes this engine byte-identical to the
+// serial one — comes from *barrier replay*. The serial engine assigns
+// each event a sequence number at schedule time and fires in exact
+// (time, seq) order; the trace fingerprints pin those seq values.
+// During a parallel epoch the true schedule order is unknowable (the
+// groups run concurrently), so:
+//
+//   - each group executes its due events in local (time, key) order,
+//     where pre-existing events keep their true seq as key and
+//     in-epoch spawns get tentative keys >= seq_base (the epoch's
+//     next_seq snapshot), monotone in spawn order. Within one group
+//     this reproduces the serial relative order exactly: pre-existing
+//     events all have seq < seq_base, and by induction the group's
+//     execution prefix matches the serial order restricted to the
+//     group, so spawn order — and therefore tentative-key order —
+//     matches serial seq order;
+//
+//   - each executed event appends an ExecRecord and its schedules
+//     append Spawn entries (local slot, or mailbox entry for
+//     cross-group);
+//
+//   - at the barrier, a min-heap over (time, seq) pops records whose
+//     seq is already known — initially exactly the events armed in
+//     previous epochs — and assigns next_seq_++ to every Spawn of the
+//     popped record in program order, exactly as the serial engine
+//     would have at schedule time. A spawned record becomes heap-ready
+//     the moment its parent pops; its key (time', seq') is strictly
+//     greater than the parent's (time' >= time, seq' assigned later so
+//     larger), so the heap emission is globally sorted (time, seq) —
+//     the trace hook fires here, in serial order, byte for byte.
+//
+// Cancelled spawns still burn a seq at replay (serial assigned one at
+// schedule time), and their slots are only recycled at the barrier so
+// the replay can distinguish "cancelled" (disarmed slot) from "armed
+// for a future epoch".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/lane.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/lane_queue.h"
+
+namespace kd::sim {
+
+class Engine;
+
+// Worker-thread context: non-null `engine` marks "inside a parallel
+// epoch of that engine", which reroutes Engine::now()/rng()/Schedule*
+// to the group-local state. Thread-local so the pool threads and the
+// main thread (worker 0) share the code path.
+struct WorkerTls {
+  Engine* engine = nullptr;
+  int group = 0;
+  Time now = 0;
+  LaneId origin = kNoLane;  // scheduling-context lane of current event
+};
+extern thread_local WorkerTls t_worker;
+
+// Type-erased boxed closure for mailbox entries (cross-group spawns
+// cannot construct into the target's slot arena mid-epoch).
+struct BoxedFn {
+  void* obj = nullptr;
+  void (*invoke)(void*) = nullptr;
+  void (*drop)(void*) = nullptr;
+};
+
+template <class F>
+BoxedFn BoxClosure(F&& fn) {
+  using Fn = std::decay_t<F>;
+  return BoxedFn{new Fn(std::forward<F>(fn)),
+                 [](void* p) { (*static_cast<Fn*>(p))(); },
+                 [](void* p) { delete static_cast<Fn*>(p); }};
+}
+
+// Moves a boxed closure into a queue slot (invoke calls through the
+// box; destroy frees it).
+void AdoptBoxed(LaneQueue::Slot& slot, const BoxedFn& box);
+
+struct MailEntry {
+  Time time = 0;
+  LaneId lane = kNoLane;    // target lane (becomes slot.lane)
+  LaneId origin = kNoLane;  // scheduling-context lane (slot.origin)
+  BoxedFn fn;
+};
+
+// One schedule performed during an epoch, in program order per group.
+struct Spawn {
+  Time time = 0;
+  std::uint32_t slot = 0;          // local spawns: slot in group queue
+  std::int32_t exec_record = -1;   // fired in-epoch: index into records
+  std::int32_t mail_target = -1;   // >= 0: cross-group, target group
+  std::uint32_t mail_index = 0;
+};
+
+// One event executed during an epoch.
+struct ExecRecord {
+  Time time = 0;
+  std::uint64_t seq = 0;  // 0 until the barrier replay assigns it
+  EventId id = kInvalidEventId;
+  std::uint32_t spawn_begin = 0;
+  std::uint32_t spawn_end = 0;
+};
+
+// Min-heap key for due in-epoch spawns awaiting execution.
+struct StagedEntry {
+  Time time = 0;
+  std::uint64_t key = 0;  // tentative order key, >= epoch seq_base
+  std::uint32_t spawn = 0;
+
+  bool operator>(const StagedEntry& o) const {
+    return time > o.time || (time == o.time && key > o.key);
+  }
+};
+using StagedHeap =
+    std::priority_queue<StagedEntry, std::vector<StagedEntry>,
+                        std::greater<StagedEntry>>;
+
+// Per-group epoch scratch (the group's LaneQueue lives in
+// Engine::queues_, index-aligned with this).
+struct GroupRun {
+  Rng rng;  // group-local jitter stream (group 0 uses the engine's)
+  std::vector<Spawn> spawns;
+  std::vector<ExecRecord> records;
+  StagedHeap staged;
+  std::uint64_t tentative = 0;     // next tentative-key offset
+  std::uint64_t processed = 0;     // lifetime fired count
+  std::uint64_t epoch_events = 0;  // fired in the current epoch
+};
+
+struct ParallelState {
+  int num_groups = 1;
+  int num_threads = 1;
+  std::vector<std::unique_ptr<GroupRun>> groups;
+  // mail[from][to]: cross-group schedules staged during the epoch,
+  // drained (and seq-assigned) by the barrier replay.
+  std::vector<std::vector<std::vector<MailEntry>>> mail;
+
+  // Epoch window: events with time < epoch_end execute this epoch.
+  Time epoch_end = 0;
+  std::uint64_t seq_base = 0;
+  // Per-group cap on fires per epoch (event_limit budget); overshoot
+  // across groups is possible and documented.
+  std::uint64_t group_fire_cap = 0;
+
+  // Worker pool: threads 1..num_threads-1 park here; the main thread
+  // is worker 0. Group g runs on worker (g % num_threads).
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t ticket = 0;
+  int outstanding = 0;
+  bool shutdown = false;
+
+  // Replay scratch.
+  struct ReadyEntry {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t group = 0;
+    std::uint32_t record = 0;
+    bool operator>(const ReadyEntry& o) const {
+      return time > o.time || (time == o.time && seq > o.seq);
+    }
+  };
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                      std::greater<ReadyEntry>>
+      ready;
+
+  // Counters (bench attribution).
+  std::uint64_t epochs = 0;
+  std::uint64_t lookahead_sum = 0;        // Σ epoch window widths
+  std::uint64_t critical_path_events = 0;  // Σ max-group fires per epoch
+};
+
+}  // namespace kd::sim

@@ -182,6 +182,19 @@ TEST_P(KdlintModeTest, R8FiresOnStoredAndCapturedCrossLaneHandles) {
   EXPECT_EQ(CountFindings(r.output), 2) << r.output;
 }
 
+TEST_P(KdlintModeTest, R9FiresOnRawThreadingPrimitives) {
+  const RunResult r =
+      RunKdlint(ModeFlag() + " --json " + Fixture("r9_violation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(HasFinding(r.output, 11, "R9", false)) << r.output;  // mutex
+  EXPECT_TRUE(HasFinding(r.output, 12, "R9", false)) << r.output;  // atomic<>
+  EXPECT_TRUE(HasFinding(r.output, 15, "R9", false)) << r.output;  // thread
+  EXPECT_TRUE(HasFinding(r.output, 20, "R9", false)) << r.output;  // lock_guard
+  // lock_guard and its mutex template argument both fire on line 20;
+  // the seam.mutex() member access at the bottom stays quiet.
+  EXPECT_EQ(CountFindings(r.output), 5) << r.output;
+}
+
 TEST_P(KdlintModeTest, LaneCleanFixturePasses) {
   const RunResult r =
       RunKdlint(ModeFlag() + " --json " + Fixture("lane_clean.cc"));

@@ -1,0 +1,286 @@
+// Parallel-engine parity tests: the contract that makes per-lane
+// parallel execution shippable is that it is *observably absent*. A
+// cluster run under KD_LANES=G, any thread count, any shard count,
+// must produce the byte-identical (time, seq) event trace the serial
+// engine produces — same events, same virtual times, same globally
+// serial sequence numbers. These tests freeze that contract:
+//
+//   - serial-vs-parallel trace equality over threads {1,2,4,8} and
+//     shards {1,4} on the full-fidelity Kd cluster walk;
+//   - a group-count sweep (the partition itself must be trace-neutral);
+//   - a property fuzzer driving randomized scale schedules through
+//     both engines per seed;
+//   - lane-checker neutrality in parallel mode (the debug oracle must
+//     never perturb what it observes);
+//   - the wrong-lane abort oracle and the epoch/lookahead counters.
+//
+// The fault-free paths draw nothing from the engine rng, so these
+// traces are exactly the serial fingerprints; fault-path runs stay
+// deterministic per (groups) value but draw from per-group rng
+// streams (see sim/engine.h) and are covered by the determinism tests
+// run under the CI KD_LANES matrix instead.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sim/engine.h"
+#include "sim/lane_checker.h"
+
+namespace kd {
+namespace {
+
+void AttachRecorder(sim::Engine& engine, std::string& trace) {
+  engine.set_trace_hook([&trace](Time t, std::uint64_t seq, sim::EventId) {
+    trace += StrFormat("%lld %llu\n", static_cast<long long>(t),
+                       static_cast<unsigned long long>(seq));
+  });
+}
+
+struct WalkOptions {
+  int lane_groups = 1;  // <=1 serial
+  int lane_threads = 0;
+  int num_shards = 1;
+  bool enable_checker = false;
+};
+
+// The determinism-test cluster walk, parameterized over the parallel
+// knobs: boot, register two functions, scale both, converge, rescale.
+// Exercises informers, watch fan-out, scheduler, kubelets, network
+// timers — every seam the parallel engine must route correctly.
+std::string KdWalkTrace(const WalkOptions& opt) {
+  sim::Engine engine;
+  if (opt.enable_checker) engine.lane_checker().Enable();
+  std::string trace;
+  AttachRecorder(engine, trace);
+
+  cluster::ClusterConfig config = cluster::ClusterConfig::Kd(8);
+  config.realistic_pod_template = false;
+  config.num_shards = opt.num_shards;
+  config.lane_groups = opt.lane_groups;
+  config.lane_threads = opt.lane_threads;
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+  cluster.RegisterFunction("fn-a");
+  cluster.RegisterFunction("fn-b");
+  engine.RunFor(Milliseconds(200));
+
+  cluster.ScaleTo("fn-a", 16);
+  cluster.ScaleTo("fn-b", 8);
+  engine.RunFor(Seconds(15));
+  cluster.ScaleTo("fn-a", 4);
+  cluster.ScaleTo("fn-b", 12);
+  engine.RunFor(Seconds(15));
+  return trace;
+}
+
+// --- serial vs parallel, threads x shards matrix ----------------------
+
+class ParallelParityTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ParallelParityTest, TraceIsByteIdenticalToSerial) {
+  const auto& [threads, shards] = GetParam();
+  WalkOptions serial;
+  serial.num_shards = shards;
+  const std::string expected = KdWalkTrace(serial);
+  ASSERT_FALSE(expected.empty());
+
+  WalkOptions parallel;
+  parallel.lane_groups = 4;
+  parallel.lane_threads = threads;
+  parallel.num_shards = shards;
+  const std::string got = KdWalkTrace(parallel);
+  EXPECT_EQ(expected, got)
+      << "parallel trace diverged at threads=" << threads
+      << " shards=" << shards;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByShards, ParallelParityTest,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(2, 1),
+                      std::make_pair(4, 1), std::make_pair(8, 1),
+                      std::make_pair(1, 4), std::make_pair(2, 4),
+                      std::make_pair(4, 4), std::make_pair(8, 4)),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& param) {
+      return "t" + std::to_string(param.param.first) + "_s" +
+             std::to_string(param.param.second);
+    });
+
+// The lane partition itself must be trace-neutral: any group count
+// reproduces the serial trace (groups beyond the kubelet count just
+// run emptier).
+TEST(ParallelParityTest, GroupCountSweepIsTraceNeutral) {
+  const std::string expected = KdWalkTrace(WalkOptions{});
+  ASSERT_FALSE(expected.empty());
+  for (int groups : {2, 3, 8}) {
+    WalkOptions opt;
+    opt.lane_groups = groups;
+    EXPECT_EQ(expected, KdWalkTrace(opt)) << "groups=" << groups;
+  }
+}
+
+// --- property fuzzer --------------------------------------------------
+
+// Randomized narrow-waist churn: a seed fully determines a schedule of
+// scale-up/scale-down calls across three functions; the serial and
+// parallel engines must walk it identically. (Fault-free by design:
+// the identical-trace invariant is exact only where no rng draws
+// happen inside events — see the file comment.)
+std::string FuzzedWalkTrace(std::uint64_t seed, int lane_groups,
+                            int lane_threads) {
+  Rng rng(seed);
+  struct Step {
+    int fn;
+    std::int64_t replicas;
+    Duration dwell;
+  };
+  std::vector<Step> steps;
+  const int num_steps = 3 + static_cast<int>(rng.UniformInt(4));
+  for (int i = 0; i < num_steps; ++i) {
+    steps.push_back(Step{static_cast<int>(rng.UniformInt(3)),
+                         static_cast<std::int64_t>(rng.UniformInt(12)),
+                         Seconds(1 + static_cast<Duration>(
+                                         rng.UniformInt(5)))});
+  }
+
+  sim::Engine engine;
+  std::string trace;
+  AttachRecorder(engine, trace);
+  cluster::ClusterConfig config = cluster::ClusterConfig::Kd(6);
+  config.realistic_pod_template = false;
+  config.lane_groups = lane_groups;
+  config.lane_threads = lane_threads;
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+  for (int f = 0; f < 3; ++f) {
+    cluster.RegisterFunction(StrFormat("fn-%d", f));
+  }
+  engine.RunFor(Milliseconds(200));
+  for (const Step& step : steps) {
+    cluster.ScaleTo(StrFormat("fn-%d", step.fn), step.replicas);
+    engine.RunFor(step.dwell);
+  }
+  engine.RunFor(Seconds(5));
+  return trace;
+}
+
+TEST(ParallelPropertyTest, FuzzedSchedulesAreTraceIdentical) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::string serial = FuzzedWalkTrace(seed, 1, 0);
+    ASSERT_FALSE(serial.empty()) << "seed=" << seed;
+    const std::string parallel = FuzzedWalkTrace(seed, 4, 4);
+    EXPECT_EQ(serial, parallel) << "seed=" << seed;
+    const std::string two_groups = FuzzedWalkTrace(seed, 2, 2);
+    EXPECT_EQ(serial, two_groups) << "seed=" << seed;
+  }
+}
+
+// --- lane checker as the parallel debug oracle ------------------------
+
+// Satellite regression: the checker (and its abort arming) must never
+// perturb the parallel trace. Lane-context tracking is unconditional
+// routing state; only the conflict checks hang off Enable().
+TEST(ParallelLaneCheckerTest, CheckerIsTraceNeutralInParallelMode) {
+  WalkOptions off;
+  off.lane_groups = 4;
+  off.lane_threads = 4;
+  const std::string base = KdWalkTrace(off);
+  ASSERT_FALSE(base.empty());
+  WalkOptions on = off;
+  on.enable_checker = true;
+  EXPECT_EQ(base, KdWalkTrace(on));
+}
+
+TEST(ParallelLaneCheckerTest, WrongLaneTouchIsRecordedPerWorkerContext) {
+  sim::LaneChecker checker;
+  checker.Enable();
+  checker.SetParallelMode(true);
+  const LaneId owner = checker.RegisterLane("owner");
+  const LaneId intruder = checker.RegisterLane("intruder");
+  int dummy = 0;
+
+  checker.BeginEventParallel(Seconds(1), owner);
+  checker.Touch(&dummy, "state", owner, "key", /*is_write=*/true);
+  EXPECT_EQ(checker.total_conflicts(), 0u);
+
+  checker.BeginEventParallel(Seconds(1), intruder);
+  checker.Touch(&dummy, "state", owner, "key", /*is_write=*/true);
+  ASSERT_EQ(checker.total_conflicts(), 1u);
+  EXPECT_EQ(checker.conflicts()[0].owner, owner);
+  EXPECT_EQ(checker.conflicts()[0].actual, intruder);
+}
+
+TEST(ParallelLaneCheckerDeathTest, AbortOnConflictKillsTheRun) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // threads=1 keeps the epoch loop inline on this thread, so the
+  // death-test fork never races a worker pool.
+  EXPECT_DEATH(
+      {
+        sim::Engine engine;
+        sim::LaneChecker& checker = engine.lane_checker();
+        checker.Enable();
+        checker.set_abort_on_conflict(true);
+        const LaneId owner = checker.RegisterLane("owner");
+        const LaneId intruder = checker.RegisterLane("intruder");
+        engine.ConfigureParallel(/*groups=*/2, /*threads=*/1);
+        engine.BindLaneToGroup(intruder, 1);
+        int dummy = 0;
+        engine.ScheduleSeamAt(intruder, Seconds(1),
+                              [&engine, &dummy, owner] {
+                                engine.lane_checker().Touch(
+                                    &dummy, "state", owner, "key",
+                                    /*is_write=*/true);
+                              });
+        engine.Run();
+      },
+      "aborting on conflict");
+}
+
+// --- epoch counters ---------------------------------------------------
+
+TEST(ParallelCountersTest, EpochAndLookaheadCountersPopulate) {
+  sim::Engine engine;
+  std::string trace;
+  AttachRecorder(engine, trace);
+  cluster::ClusterConfig config = cluster::ClusterConfig::Kd(8);
+  config.realistic_pod_template = false;
+  config.lane_groups = 4;
+  config.lane_threads = 2;
+  cluster::Cluster cluster(engine, std::move(config));
+  cluster.Boot();
+  cluster.RegisterFunction("fn-a");
+  engine.RunFor(Milliseconds(200));
+  cluster.ScaleTo("fn-a", 16);
+  engine.RunFor(Seconds(10));
+
+  EXPECT_TRUE(engine.parallel());
+  EXPECT_EQ(engine.num_groups(), 5);
+  EXPECT_EQ(engine.threads_used(), 2);
+  EXPECT_GT(engine.epochs_executed(), 0u);
+  // The lookahead is fixed per run, so the mean is exactly it.
+  EXPECT_DOUBLE_EQ(engine.mean_lookahead(),
+                   static_cast<double>(engine.lookahead()));
+  EXPECT_GT(engine.lookahead(), 0);
+  EXPECT_GT(engine.critical_path_events(), 0u);
+  EXPECT_LE(engine.critical_path_events(), engine.processed_events());
+}
+
+TEST(ParallelCountersTest, SerialEngineReportsNoEpochs) {
+  sim::Engine engine;
+  engine.ScheduleAfter(1, [] {});
+  engine.Run();
+  EXPECT_FALSE(engine.parallel());
+  EXPECT_EQ(engine.epochs_executed(), 0u);
+  EXPECT_EQ(engine.mean_lookahead(), 0.0);
+  EXPECT_EQ(engine.critical_path_events(), 0u);
+  EXPECT_EQ(engine.threads_used(), 1);
+}
+
+}  // namespace
+}  // namespace kd

@@ -56,6 +56,27 @@ const std::set<std::string>& BannedIdents() {
   return kSet;
 }
 
+// R9 (mirrors rules.cc): raw threading primitives; `thread`/`atomic`
+// are resolved through the referenced declaration's parent namespace
+// instead of token context.
+const std::set<std::string>& BannedThreadingIdents() {
+  static const std::set<std::string> kSet = {
+      "jthread",          "mutex",
+      "recursive_mutex",  "timed_mutex",
+      "recursive_timed_mutex",
+      "shared_mutex",     "shared_timed_mutex",
+      "condition_variable", "condition_variable_any",
+      "atomic_flag",      "atomic_thread_fence",
+      "atomic_signal_fence",
+      "lock_guard",       "unique_lock",
+      "scoped_lock",      "shared_lock",
+      "call_once",        "once_flag",
+      "memory_order_relaxed", "memory_order_acquire",
+      "memory_order_release", "memory_order_acq_rel",
+      "memory_order_seq_cst"};
+  return kSet;
+}
+
 const std::set<std::string>& OrderEscapingCalls() {
   static const std::set<std::string> kSet = {
       "ScheduleAt", "ScheduleAfter", "Schedule",    "Send",
@@ -401,6 +422,33 @@ CXChildVisitResult Visit(CXCursor cursor, CXCursor, CXClientData data) {
                      "must use sim::Engine::now() and kd::Rng so runs "
                      "stay bit-reproducible");
       }
+    }
+  }
+
+  if (ctx->Want("R9") && (kind == CXCursor_DeclRefExpr ||
+                          kind == CXCursor_MemberRefExpr ||
+                          kind == CXCursor_TypeRef ||
+                          kind == CXCursor_TemplateRef)) {
+    const std::string name = ToStd(clang_getCursorSpelling(cursor));
+    const std::size_t space = name.rfind(' ');
+    const std::string bare =
+        space == std::string::npos ? name : name.substr(space + 1);
+    bool hit = BannedThreadingIdents().count(bare) > 0;
+    if (!hit && (bare == "thread" || bare == "atomic")) {
+      // Only the std:: types, not arbitrary identifiers that happen to
+      // share the word: resolve through the referenced declaration.
+      const CXCursor ref = clang_getCursorReferenced(cursor);
+      const std::string parent =
+          ToStd(clang_getCursorSpelling(clang_getCursorSemanticParent(ref)));
+      hit = parent == "std";
+    }
+    if (hit) {
+      ctx->Add(LineOf(cursor), "R9",
+               "raw threading primitive '" + bare +
+                   "' - parallelism is the engine's job (src/sim); "
+                   "product code runs single-lane between barrier "
+                   "epochs and must use sim::SeamLock for the "
+                   "sanctioned commutative seams");
     }
   }
 

@@ -65,6 +65,32 @@ const std::set<std::string>& ScheduleEntryPoints() {
   return kSet;
 }
 
+// R9: raw threading primitives. Parallel execution is the engine's
+// job (src/sim, PARALLEL MODE): product code runs single-lane between
+// barrier epochs, so a thread, lock, or atomic of its own would race
+// the deterministic schedule the engine replays. The sanctioned
+// wrapper for the few commutative cross-lane seams is sim::SeamLock
+// (src/sim/seam_lock.h). `thread` and `atomic` are common enough
+// words that only their std-qualified / template forms are flagged
+// (see RunR9).
+const std::set<std::string>& BannedThreadingIdents() {
+  static const std::set<std::string> kSet = {
+      "jthread",          "mutex",
+      "recursive_mutex",  "timed_mutex",
+      "recursive_timed_mutex",
+      "shared_mutex",     "shared_timed_mutex",
+      "condition_variable", "condition_variable_any",
+      "atomic_flag",      "atomic_thread_fence",
+      "atomic_signal_fence",
+      "lock_guard",       "unique_lock",
+      "scoped_lock",      "shared_lock",
+      "call_once",        "once_flag",
+      "memory_order_relaxed", "memory_order_acquire",
+      "memory_order_release", "memory_order_acq_rel",
+      "memory_order_seq_cst"};
+  return kSet;
+}
+
 // R5: ObjectCache mutators a policy class must not call directly.
 const std::set<std::string>& CacheMutators() {
   static const std::set<std::string> kSet = {"Upsert", "Remove", "MarkInvalid",
@@ -419,6 +445,39 @@ void RunR6(const std::string& path, const Tokens& t,
                        "' - the key->shard mapping must go through "
                        "apiserver::ShardRouter so every layer agrees on "
                        "the partitioning (and S=1 stays hash-free)",
+                   false,
+                   ""});
+  }
+}
+
+// R9 over one token stream: no raw threading primitives outside the
+// engine. Most of the banned names (mutex, lock_guard, once_flag...)
+// are unambiguous; `thread` and `atomic` are ordinary words, so they
+// are flagged only as `std::thread` / `std::atomic` / `atomic<...>`.
+// Member accesses (`seam.mutex()`) name somebody else's API and stay
+// quiet, mirroring R1.
+void RunR9(const std::string& path, const Tokens& t,
+           std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& id = t[i].text;
+    bool hit = BannedThreadingIdents().count(id) > 0;
+    if (!hit && (id == "thread" || id == "atomic")) {
+      const bool std_qualified = i >= 3 && Is(t, i - 1, ":") &&
+                                 Is(t, i - 2, ":") && Is(t, i - 3, "std");
+      hit = std_qualified || (id == "atomic" && Is(t, i + 1, "<"));
+    }
+    if (!hit) continue;
+    if (i >= 1 && (Is(t, i - 1, ".") ||
+                   (i >= 2 && Is(t, i - 1, ">") && Is(t, i - 2, "-")))) {
+      continue;
+    }
+    out.push_back({path, t[i].line, "R9",
+                   "raw threading primitive '" + id +
+                       "' - parallelism is the engine's job (src/sim); "
+                       "product code runs single-lane between barrier "
+                       "epochs and must use sim::SeamLock for the "
+                       "sanctioned commutative seams",
                    false,
                    ""});
   }
@@ -793,6 +852,7 @@ bool RuleAppliesTo(const Options& opts, const std::string& rule,
   };
   if (!under("src/")) return false;       // tests/bench own their idioms
   if (rule == "R1") return !under("src/sim/");  // the engine owns time
+  if (rule == "R9") return !under("src/sim/");  // ...and all threads
   if (rule == "R5") return under("src/controllers/") || under("src/faas/");
   // The router itself is the one place allowed to do shard arithmetic.
   if (rule == "R6") return !under("src/apiserver/");
@@ -867,6 +927,7 @@ std::vector<Finding> AnalyzeSource(const std::string& path,
   if (want("R4")) RunR4(path, toks, out);
   if (want("R5")) RunR5(path, toks, decls, out);
   if (want("R6")) RunR6(path, toks, out);
+  if (want("R9")) RunR9(path, toks, out);
   if ((want("R7") || want("R8")) && !opts.lane_of.empty()) {
     std::map<std::string, std::string> lane_vars;
     HarvestLaneVars(toks, opts, lane_vars);
@@ -948,6 +1009,7 @@ std::string ToSarif(const std::vector<Finding>& findings) {
       {"R6", "shard routing goes through ShardRouter"},
       {"R7", "events may only reach state owned by their lane"},
       {"R8", "no raw cross-lane handles stored or captured across events"},
+      {"R9", "no raw threading primitives outside the engine (src/sim)"},
   };
   std::string out;
   out += "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",";
